@@ -1,0 +1,70 @@
+"""Ablation: Algorithm 1's adaptive advance policy vs fixed settings.
+
+DESIGN.md ablation #1.  Runs the adaptive controller against every fixed
+advance value on BERT (N=1, where the schedule contrast is visible) and
+asserts the adaptive policy lands within a small factor of the best fixed
+setting while staying under the memory limit — the value of the paper's
+conservative strategy is getting near-AFAB speed without hand-tuning.
+"""
+
+from repro.core.profiler import Profiler
+from repro.core.simcfg import calibration_for
+from repro.schedules import AdaptiveAdvanceController, AdvanceFPSchedule
+from repro.utils import format_table
+
+from .conftest import run_once
+
+M = 16
+
+
+def _measure(cal, advance: int):
+    prof = Profiler(
+        layer_costs=cal.layer_costs(),
+        partition=cal.partition(),
+        schedule=AdvanceFPSchedule(advance),
+        cluster_spec=cal.cluster_spec(),
+        batch_size=cal.batch_size,
+        activation_byte_scale=cal.activation_byte_scale,
+        param_byte_scale=cal.param_byte_scale,
+        stash_multiplier=cal.stash_multiplier,
+        optimizer_state_factor=cal.optimizer_state_factor,
+        with_reference_model=True,
+    )
+    res = prof.run_setting(M, 1, iterations=2)
+    if res.oom is not None:
+        return float("inf"), float("inf")
+    return res.batch_time, float(max(res.peak_memory))
+
+
+def run_ablation():
+    cal = calibration_for("bert")
+    fixed = {adv: _measure(cal, adv) for adv in range(0, M + 1, 2)}
+    controller = AdaptiveAdvanceController(
+        num_micro=M, memory_limit_bytes=float(cal.memory_capacity_bytes)
+    )
+    settled = controller.tune(lambda adv: _measure(cal, adv))
+    adaptive_time, adaptive_mem = _measure(cal, settled)
+    return {"fixed": fixed, "settled": settled, "adaptive": (adaptive_time, adaptive_mem)}
+
+
+def test_ablation_advance_policy(benchmark, emit):
+    data = run_once(benchmark, run_ablation)
+    rows = [
+        [f"fixed advance={adv}", round(t * 1e3, 2), round(mem / 2**20, 1)]
+        for adv, (t, mem) in sorted(data["fixed"].items())
+        if t != float("inf")
+    ]
+    t, mem = data["adaptive"]
+    rows.append([f"adaptive (settled at {data['settled']})", round(t * 1e3, 2), round(mem / 2**20, 1)])
+    emit(
+        "ablation_advance_policy",
+        format_table(["policy", "iter time (ms)", "peak MiB"], rows,
+                     title="Ablation — Algorithm 1 vs fixed advance (BERT, M=16, N=1)"),
+    )
+
+    feasible = [t for t, m in data["fixed"].values() if t != float("inf")]
+    best_fixed = min(feasible)
+    adaptive_time, adaptive_mem = data["adaptive"]
+    assert adaptive_time <= best_fixed * 1.05
+    cal = calibration_for("bert")
+    assert adaptive_mem <= cal.memory_capacity_bytes

@@ -1,0 +1,62 @@
+"""Ablation: the elastic coefficient alpha (paper default: 1/N).
+
+DESIGN.md ablation #2.  Sweeps alpha on the AWD workload with N=2 and
+checks that (a) alpha=0 (independent models, Figure 5a) lets the parallel
+models diverge much further than any elastic setting, and (b) the paper's
+1/N default reaches the target at least as fast as the extremes.
+"""
+
+import numpy as np
+
+from repro.core.trainer import AvgPipeTrainer
+from repro.models import build_workload
+from repro.utils import format_table
+
+from .conftest import run_once
+
+ALPHAS = (0.0, 0.1, 0.25, 0.5, 0.9)
+
+
+def run_ablation():
+    spec = build_workload("awd")
+    out = {}
+    for alpha in ALPHAS:
+        trainer = AvgPipeTrainer(spec, seed=0, max_epochs=25, num_pipelines=2, alpha=alpha)
+        result = trainer.train()
+        out[alpha] = {
+            "epochs": result.epochs_to_target,
+            "reached": result.reached_target,
+            "final": result.final_metric,
+            "divergence": trainer.framework.divergence(),
+        }
+    return out
+
+
+def test_ablation_alpha(benchmark, emit):
+    data = run_once(benchmark, run_ablation)
+    rows = [
+        [
+            f"{alpha:.2f}"
+            + (" (1/N)" if alpha == 0.5 else "")
+            + (" (1/2N, default)" if alpha == 0.25 else "")
+            + (" (independent)" if alpha == 0 else ""),
+            d["epochs"] if d["reached"] else f">{d['epochs']}",
+            round(d["final"], 3),
+            round(d["divergence"], 5),
+        ]
+        for alpha, d in data.items()
+    ]
+    emit(
+        "ablation_alpha",
+        format_table(["alpha", "epochs to target", "final loss", "model divergence"],
+                     rows, title="Ablation — elastic coefficient (AWD, N=2)"),
+    )
+
+    # Independent models (alpha=0) diverge far more than elastic ones.
+    assert data[0.0]["divergence"] > 3 * data[0.5]["divergence"]
+    # Some elastic setting must reach the target, and moderate pulls
+    # (0.1-0.5) must be competitive with each other.
+    reached = {a: d for a, d in data.items() if d["reached"] and a > 0}
+    assert reached, "no elastic alpha reached the target"
+    moderate = [data[a]["epochs"] for a in (0.1, 0.25, 0.5) if data[a]["reached"]]
+    assert moderate and min(moderate) <= min(d["epochs"] for d in reached.values()) + 2

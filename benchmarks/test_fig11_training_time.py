@@ -1,0 +1,92 @@
+"""Figure 11: training time, all systems x workloads.
+
+This is the paper's headline figure.  Reproduced shapes asserted on the
+*epoch time* column (the systems measurement — see the harness docstring
+for why epochs-to-target carries a disclosed miniature-scale penalty):
+
+* data parallelism is the slowest system on every workload,
+* every memory-matched AvgPipe variant beats its baseline per epoch,
+* PipeDream OOMs on BERT,
+* the aggregate epoch-time speedups point the paper's way (paper: 4.7x
+  over DP, 1.7x over pipeline parallelism; measured factors recorded in
+  EXPERIMENTS.md).
+"""
+
+import math
+
+from repro.experiments import run_fig11
+from repro.utils import format_table
+
+from .conftest import run_once
+
+
+def test_fig11_training_time(benchmark, emit):
+    data = run_once(benchmark, run_fig11)
+    rows = data["rows"]
+    table_rows = []
+    for r in rows:
+        table_rows.append([
+            r.workload,
+            r.system,
+            "OOM" if r.oom else r.epochs,
+            "-" if r.oom else round(r.time_per_batch * 1e3, 1),
+            "-" if r.oom else round(r.epoch_time, 2),
+            "-" if r.oom else round(r.training_time, 1),
+            r.note,
+        ])
+    summary = (
+        f"\nAvgPipe average epoch-time speedup vs data parallelism: "
+        f"{data['avg_speedup_vs_dp']:.2f}x (paper: 4.7x)\n"
+        f"AvgPipe average epoch-time speedup vs pipeline parallelism: "
+        f"{data['avg_speedup_vs_pipeline']:.2f}x (paper: 1.7x)"
+    )
+    emit(
+        "fig11_training_time",
+        format_table(
+            ["workload", "system", "epochs", "ms/batch", "epoch (s)", "to target (s)", "config"],
+            table_rows,
+            title="Figure 11 — simulated training time (epoch time and time to quality target)",
+        )
+        + summary,
+    )
+
+    by_key = {(r.workload, r.system): r for r in rows}
+
+    # PipeDream OOMs on BERT only.
+    assert by_key[("bert", "PipeDream")].oom
+    assert not by_key[("gnmt", "PipeDream")].oom
+
+    for wl in ("gnmt", "bert", "awd"):
+        dp = by_key[(wl, "PyTorch (DP)")]
+        # DP is the slowest non-OOM system per epoch on the workload.
+        others = [
+            r.epoch_time
+            for r in rows
+            if r.workload == wl and not r.oom and r.system != "PyTorch (DP)"
+        ]
+        assert dp.epoch_time > max(others) * 0.99, wl
+
+        # Every AvgPipe variant beats the baseline it was matched to
+        # on epoch time (the systems claim).
+        for base_name, variant in [
+            ("PyTorch (DP)", "AvgPipe(P)"),
+            ("GPipe", "AvgPipe(G)"),
+            ("PipeDream-2BW", "AvgPipe(2BW)"),
+            ("Dapple", "AvgPipe(D)"),
+        ]:
+            base = by_key.get((wl, base_name))
+            ours = by_key.get((wl, variant))
+            if base is None or ours is None or base.oom:
+                continue
+            assert ours.epoch_time < base.epoch_time, (wl, variant)
+
+    assert data["avg_speedup_vs_dp"] > 2.0
+    assert data["avg_speedup_vs_pipeline"] > 1.2
+    assert math.isfinite(data["avg_speedup_vs_dp"])
+
+    # The statistical column: AvgPipe's epochs within the documented
+    # miniature-scale bound of sync's on every workload.
+    for wl in ("gnmt", "bert", "awd"):
+        sync = by_key[(wl, "PyTorch (DP)")]
+        ours = by_key[(wl, "AvgPipe(G)")]
+        assert ours.epochs <= 3 * sync.epochs + 1, wl

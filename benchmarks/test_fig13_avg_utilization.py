@@ -1,0 +1,34 @@
+"""Figure 13: averaged GPU utilization.
+
+Shape asserted: AvgPipe's parallel pipelines raise average utilization
+substantially over the baselines on every workload (paper: +86.1% GNMT,
++41.3% BERT, +19.6% AWD).
+"""
+
+from repro.experiments import run_fig13
+from repro.utils import format_table
+
+from .conftest import run_once
+
+
+def test_fig13_avg_utilization(benchmark, emit):
+    data = run_once(benchmark, run_fig13)
+    table = format_table(
+        ["workload", "system", "avg GPU utilization"],
+        [
+            [r.workload, r.system, "OOM" if r.oom else round(r.avg_utilization, 3)]
+            for r in data["rows"]
+        ],
+        title="Figure 13 — averaged GPU utilization",
+    )
+    gains = "\n".join(
+        f"AvgPipe utilization gain on {wl}: +{pct:.1f}%"
+        for wl, pct in data["improvement_pct"].items()
+    )
+    emit("fig13_avg_utilization", table + "\n\n" + gains)
+
+    assert data["improvement_pct"]["gnmt"] > 25.0
+    assert data["improvement_pct"]["bert"] > 20.0
+    assert data["improvement_pct"]["awd"] > 10.0
+    # GNMT shows the largest gain, as in the paper.
+    assert data["improvement_pct"]["gnmt"] >= data["improvement_pct"]["awd"]

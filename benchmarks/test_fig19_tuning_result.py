@@ -1,0 +1,45 @@
+"""Figure 19: training time under each tuning method.
+
+Shapes asserted:
+* traversal is the floor (it tried everything),
+* the profiling method lands near the floor on every workload,
+* max-size is disastrous on GNMT/BERT (bubble-blind; paper: 23x) but is
+  the right call on AWD (paper: the best setting there),
+* max-num pays a peak-utilization penalty relative to the floor on the
+  bubble-bound workloads.
+"""
+
+from repro.experiments import run_fig19
+from repro.utils import format_table
+
+from .conftest import run_once
+
+
+def test_fig19_tuning_result(benchmark, emit):
+    data = run_once(benchmark, run_fig19)
+    rows = data["rows"]
+    table = format_table(
+        ["workload", "method", "M", "N", "time/batch (ms)"],
+        [[r.workload, r.method, r.m, r.n, round(r.time_per_batch * 1e3, 1)] for r in rows],
+        title="Figure 19 — measured time per batch at the tuned setting",
+    )
+    emit("fig19_tuning_result", table)
+
+    by = {(r.workload, r.method): r for r in rows}
+    for wl in ("gnmt", "bert", "awd"):
+        floor = by[(wl, "traversal")].time_per_batch
+        prof = by[(wl, "profiling")].time_per_batch
+        assert prof <= floor * 1.5, f"{wl}: profiling {prof / floor:.2f}x off the floor"
+
+    # max-size ignores bubbles: far off the floor on GNMT and BERT.
+    for wl in ("gnmt", "bert"):
+        floor = by[(wl, "traversal")].time_per_batch
+        assert by[(wl, "max-size")].time_per_batch > 1.5 * floor, wl
+
+    # ...but on AWD max-size is close to the floor (arithmetic-intensity
+    # bound; the paper reports it as outright optimal there).
+    awd_floor = by[("awd", "traversal")].time_per_batch
+    assert by[("awd", "max-size")].time_per_batch <= awd_floor * 1.5
+
+    # max-num underutilizes kernels on AWD (paper: 15x worse there).
+    assert by[("awd", "max-num")].time_per_batch > by[("awd", "max-size")].time_per_batch

@@ -1,0 +1,58 @@
+"""Quickstart: tune, simulate and train AvgPipe on the BERT workload.
+
+Run:  python examples/quickstart.py
+
+Walks the full Figure-10 pipeline in ~a minute:
+  1. build the workload (model + synthetic data + quality target),
+  2. let the profiling-based tuner pick the parallelism degrees (M, N)
+     and Algorithm 1 pick the advance-forward depth,
+  3. simulate the tuned configuration on the calibrated 6-GPU cluster,
+  4. actually train the elastic-averaging framework to the accuracy
+     target and report epochs.
+"""
+
+from repro.core import AvgPipe
+from repro.utils import format_table
+
+MIB = 2**20
+
+
+def main() -> None:
+    system = AvgPipe("bert")
+
+    print("Partition over 6 simulated GPUs:", system.partition.boundaries)
+
+    plan = system.plan(n_candidates=[1, 2, 3])
+    print(
+        f"\nTuned plan: M={plan.num_micro} micro-batches, "
+        f"N={plan.num_pipelines} parallel pipelines, advance={plan.advance} "
+        f"(tuning cost: {plan.tuning_cost:.2f} simulated s)"
+    )
+
+    result = system.simulate(plan, iterations=3, render_timeline=True)
+    print(
+        format_table(
+            ["metric", "value"],
+            [
+                ["time per batch (ms)", result.time_per_batch * 1e3],
+                ["peak device memory (MiB)", max(result.peak_memory) / MIB],
+                ["average GPU utilization", result.avg_utilization],
+            ],
+            title="\nSimulated performance",
+        )
+    )
+    print("\nPipeline timeline (one iteration):")
+    print(result.timeline)
+
+    print("\nTraining the elastic-averaging framework to the accuracy target...")
+    trainer = system.trainer(plan, seed=0, max_epochs=10)
+    train_result = trainer.train()
+    print(
+        f"Reached {train_result.final_metric:.1f}% accuracy "
+        f"(target {system.spec.target}%) in {train_result.epochs_to_target} epochs "
+        f"with {plan.num_pipelines} parallel pipelines."
+    )
+
+
+if __name__ == "__main__":
+    main()

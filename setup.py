@@ -1,0 +1,14 @@
+"""Legacy setup shim: the environment's setuptools lacks the `wheel`
+package, so editable installs go through `setup.py develop`."""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description="AvgPipe: elastic averaging for efficient pipelined DNN training (PPoPP'23 reproduction)",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy>=1.23"],
+)

@@ -1,0 +1,224 @@
+"""Command-line interface.
+
+    python -m repro plan gnmt                 # tune (M, N, advance) and simulate
+    python -m repro baselines bert            # simulate the five baselines
+    python -m repro train awd --epochs 10     # real elastic-averaging training
+    python -m repro figure fig17              # regenerate one paper figure
+    python -m repro timeline --schedule 1f1b  # render a schedule timeline
+
+Every command prints plain-text tables (no plotting dependencies) and is
+deterministic for a given seed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+MIB = 2**20
+
+
+def _cmd_plan(args: argparse.Namespace) -> int:
+    from repro.core import AvgPipe
+    from repro.utils import format_table
+
+    system = AvgPipe(args.workload)
+    plan = system.plan(
+        memory_limit_bytes=args.memory_mib * MIB if args.memory_mib else None,
+        n_candidates=list(range(1, args.max_pipelines + 1)),
+    )
+    result = system.simulate(plan, iterations=args.iterations, render_timeline=args.timeline)
+    rows = [
+        ["partition", str(plan.partition.boundaries)],
+        ["micro-batches (M)", plan.num_micro],
+        ["parallel pipelines (N)", plan.num_pipelines],
+        ["advance forward depth", plan.advance],
+        ["tuning cost (sim s)", round(plan.tuning_cost, 3)],
+        ["time per batch (ms)", round(result.time_per_batch * 1e3, 2)],
+        ["peak device memory (MiB)", round(max(result.peak_memory) / MIB, 1)],
+        ["average GPU utilization", round(result.avg_utilization, 3)],
+    ]
+    print(format_table(["metric", "value"], rows, title=f"AvgPipe plan — {args.workload}"))
+    if args.timeline:
+        print()
+        print(result.timeline)
+    return 0
+
+
+def _cmd_baselines(args: argparse.Namespace) -> int:
+    from repro.experiments import avgpipe_matched_to, run_all_baselines
+    from repro.utils import format_table
+
+    rows = []
+    for run in run_all_baselines(args.workload, iterations=args.iterations):
+        rows.append([
+            run.display,
+            run.num_micro if run.num_micro is not None else "-",
+            "OOM" if run.oom else round(run.time_per_batch * 1e3, 1),
+            "OOM" if run.oom else round(run.peak_memory / MIB, 1),
+            "-" if run.oom else round(run.result.avg_utilization, 2),
+        ])
+    matched = avgpipe_matched_to(args.workload, args.match)
+    note = f" (budget x{matched.budget_relaxation:.2f})" if matched.budget_relaxation > 1 else ""
+    rows.append([
+        f"{matched.variant} M={matched.num_micro} N={matched.num_pipelines}{note}",
+        matched.num_micro,
+        round(matched.time_per_batch * 1e3, 1),
+        round(matched.peak_memory / MIB, 1),
+        round(matched.result.avg_utilization, 2),
+    ])
+    print(
+        format_table(
+            ["system", "M", "ms/batch", "peak MiB", "avg util"],
+            rows,
+            title=f"Baselines vs AvgPipe — {args.workload}",
+        )
+    )
+    return 0
+
+
+def _cmd_train(args: argparse.Namespace) -> int:
+    from repro.core import AvgPipe
+
+    system = AvgPipe(args.workload)
+    plan = system.plan(n_candidates=list(range(1, args.max_pipelines + 1)))
+    trainer = system.trainer(plan, seed=args.seed, max_epochs=args.epochs)
+    print(
+        f"Training {args.workload} with N={plan.num_pipelines} parallel pipelines "
+        f"(target: {system.spec.metric_name} {'>=' if system.spec.metric_mode == 'max' else '<='} "
+        f"{system.spec.target})"
+    )
+    result = trainer.train()
+    for epoch, metric in enumerate(result.metric_history):
+        print(f"  epoch {epoch + 1}: {system.spec.metric_name} = {metric:.3f}")
+    status = "reached" if result.reached_target else "did not reach"
+    print(f"{status} the target in {result.epochs_run} epochs")
+    return 0 if result.reached_target else 1
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    import repro.experiments as exp
+
+    registry = {
+        "fig02": exp.run_fig02,
+        "fig07": exp.run_fig07,
+        "fig11": exp.run_fig11,
+        "fig12": exp.run_fig12,
+        "fig13": exp.run_fig13,
+        "fig14": exp.run_fig14,
+        "fig15": exp.run_fig15,
+        "fig16": exp.run_fig16,
+        "fig17": exp.run_fig17,
+        "fig18": exp.run_fig18,
+        "fig19": exp.run_fig19,
+    }
+    if args.name not in registry:
+        print(f"unknown figure {args.name!r}; available: {', '.join(sorted(registry))}")
+        return 2
+    data = registry[args.name]()
+    _print_figure(args.name, data)
+    return 0
+
+
+def _print_figure(name: str, data) -> None:
+    """Best-effort plain rendering of a figure harness result."""
+    from dataclasses import asdict, is_dataclass
+
+    from repro.utils import format_table
+
+    rows = data.get("rows") if isinstance(data, dict) else None
+    if rows and is_dataclass(rows[0]):
+        dicts = [asdict(r) for r in rows]
+        headers = [k for k in dicts[0] if not isinstance(dicts[0][k], (tuple, list, str)) or k in ("workload", "system", "schedule", "method", "note")]
+        table = [[d.get(h, "") for h in headers] for d in dicts]
+        print(format_table(headers, table, title=name))
+    else:
+        import pprint
+
+        pprint.pprint(data)
+    for key, value in (data.items() if isinstance(data, dict) else []):
+        if key != "rows" and isinstance(value, (int, float)):
+            print(f"{key}: {value:.3f}")
+
+
+def _cmd_timeline(args: argparse.Namespace) -> int:
+    from repro.core.simcfg import calibration_for
+    from repro.core.profiler import Profiler
+    from repro.schedules import schedule_by_name
+
+    cal = calibration_for(args.workload)
+    profiler = Profiler(
+        layer_costs=cal.layer_costs(),
+        partition=cal.partition(),
+        schedule=schedule_by_name(args.schedule, advance=args.advance),
+        cluster_spec=cal.cluster_spec(),
+        batch_size=cal.batch_size,
+        activation_byte_scale=cal.activation_byte_scale,
+        param_byte_scale=cal.param_byte_scale,
+        stash_multiplier=cal.stash_multiplier,
+        optimizer_state_factor=cal.optimizer_state_factor,
+        activation_recompute=args.recompute,
+    )
+    result = profiler.run_setting(args.micro, args.pipelines, iterations=1, render_timeline=True)
+    if result.oom is not None:
+        print(f"OOM: {result.oom}")
+        return 1
+    print(result.timeline)
+    print(f"\niteration time: {result.batch_time * 1e3:.1f} ms; "
+          f"peak memory: {max(result.peak_memory) / MIB:.1f} MiB")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argparse tree for the ``repro`` CLI."""
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__,
+                                     formatter_class=argparse.RawDescriptionHelpFormatter)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("plan", help="tune and simulate AvgPipe on a workload")
+    p.add_argument("workload", choices=["gnmt", "bert", "awd"])
+    p.add_argument("--memory-mib", type=float, default=None, help="memory budget per device")
+    p.add_argument("--max-pipelines", type=int, default=4)
+    p.add_argument("--iterations", type=int, default=3)
+    p.add_argument("--timeline", action="store_true", help="render the ASCII timeline")
+    p.set_defaults(fn=_cmd_plan)
+
+    p = sub.add_parser("baselines", help="simulate the paper's five baselines")
+    p.add_argument("workload", choices=["gnmt", "bert", "awd"])
+    p.add_argument("--match", default="gpipe", choices=["pytorch", "gpipe", "pipedream", "pipedream-2bw", "dapple"],
+                   help="which baseline AvgPipe's memory budget is matched to")
+    p.add_argument("--iterations", type=int, default=3)
+    p.set_defaults(fn=_cmd_baselines)
+
+    p = sub.add_parser("train", help="real elastic-averaging training")
+    p.add_argument("workload", choices=["gnmt", "bert", "awd"])
+    p.add_argument("--epochs", type=int, default=10)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--max-pipelines", type=int, default=3)
+    p.set_defaults(fn=_cmd_train)
+
+    p = sub.add_parser("figure", help="regenerate one paper figure")
+    p.add_argument("name", help="fig02, fig07, fig11..fig19")
+    p.set_defaults(fn=_cmd_figure)
+
+    p = sub.add_parser("timeline", help="render a schedule timeline")
+    p.add_argument("--workload", default="bert", choices=["gnmt", "bert", "awd"])
+    p.add_argument("--schedule", default="advance_fp",
+                   choices=["afab", "gpipe", "1f1b", "dapple", "2bw", "advance_fp", "pipedream"])
+    p.add_argument("--advance", type=int, default=2)
+    p.add_argument("--micro", type=int, default=8)
+    p.add_argument("--pipelines", type=int, default=1)
+    p.add_argument("--recompute", action="store_true",
+                   help="enable activation recomputation (GPipe re-materialization)")
+    p.set_defaults(fn=_cmd_timeline)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,169 @@
+"""The elastic-averaging-based framework (§3.2).
+
+N *parallel models* each train on their own batches with a user-chosen
+optimizer (Adam, SGD, ASGD, ... — the framework never looks inside the
+optimizer, which is the §3.1 point of difference from EASGD-style coupled
+optimizers).  A *reference model* holds the center the parallel models
+are pulled toward.
+
+Per iteration, for each parallel model i (§3.2 steps 1-5):
+
+1. the pipeline computes a local update Δ_i = opt_step(x_i) − x_i,
+2. the model is diluted toward the reference:
+   x_i ← (1−α)·x_i' + α·x_ref  with α = 1/N (empirical default, [18]),
+3. Δ_i is posted to the reference's message queue (async),
+4. the reference process accumulates arriving updates,
+5. once all N updates of an iteration arrived it applies the normalized
+   accumulated update: x_ref ← x_ref + normalize(ΣΔ_i), where the
+   normalization is "mean" (1/N, the default — the reference tracks the
+   parallel-model average of Figure 5) or "sum" (the first-order
+   sequential-equivalent reading; see the attribute docstring below).
+
+With a synchronous queue, "mean" keeps the reference a bounded-lag
+tracker of the parallel-model average — an invariant the tests assert;
+with an async queue, step 2 may see a reference that lags by the queue
+delay, which is the configuration the paper runs.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.core.messages import MessageQueue
+from repro.models.pipeline_model import PipelineModel
+
+__all__ = ["ElasticAveragingFramework"]
+
+StateDict = dict[str, np.ndarray]
+
+
+class ElasticAveragingFramework:
+    """Coordinates N parallel :class:`PipelineModel`\\ s and a reference.
+
+    Parameters
+    ----------
+    parallel_models:
+        The N models, structurally identical, typically initialized from
+        the same seed (the reference starts at their common value).
+    alpha:
+        Elastic pull coefficient; ``None`` means the paper's 1/N default.
+    queue_delay:
+        Iterations of staleness on the update queue (0 = synchronous).
+    """
+
+    def __init__(
+        self,
+        parallel_models: Sequence[PipelineModel],
+        alpha: float | None = None,
+        queue_delay: int = 1,
+        update_normalization: str = "mean",
+    ) -> None:
+        if not parallel_models:
+            raise ValueError("need at least one parallel model")
+        if update_normalization not in ("sum", "mean"):
+            raise ValueError(f"update_normalization must be 'sum' or 'mean', got {update_normalization!r}")
+        self.models = list(parallel_models)
+        n = len(self.models)
+        self.alpha = (1.0 / n) if alpha is None else float(alpha)
+        if not 0.0 <= self.alpha <= 1.0:
+            raise ValueError(f"alpha must be in [0, 1], got {self.alpha}")
+        #: §3.2 step 5 says the reference "normalizes and applies the
+        #: accumulated update".  Two readings are implemented:
+        #:   "mean" (default) — x_ref += (1/N) sum(delta): the reference
+        #:     is a bounded-lag tracker of the parallel-model average
+        #:     (the Figure-5 picture) and the dynamics are stable for
+        #:     every optimizer we tested.
+        #:   "sum" — x_ref += sum(delta): first-order equivalent to the
+        #:     sequential trajectory; it makes Figure 14's epoch parity
+        #:     an identity but is oscillation-prone at this miniature's
+        #:     compressed learning rates, so it is opt-in.
+        #: See docs/elastic_averaging.md for the statistical analysis.
+        self.update_normalization = update_normalization
+        names = [sorted(name for name, _ in m.named_parameters()) for m in self.models]
+        if any(ns != names[0] for ns in names[1:]):
+            raise ValueError("parallel models have mismatched parameter structure")
+        # Reference starts at the average of the parallel models.
+        self.reference: StateDict = self._average_state()
+        self.queue: MessageQueue[StateDict] = MessageQueue(delay=queue_delay, name="updates")
+        self._accumulated: StateDict = {k: np.zeros_like(v) for k, v in self.reference.items()}
+        self._received = 0
+
+    @property
+    def num_parallel(self) -> int:
+        return len(self.models)
+
+    # ------------------------------------------------------------------ #
+    # pipeline-side steps
+
+    def capture(self, index: int) -> StateDict:
+        """Snapshot model ``index`` before its optimizer step (step 1)."""
+        return self.models[index].state_dict()
+
+    def commit(self, index: int, before: Mapping[str, np.ndarray]) -> None:
+        """After the optimizer step: compute Δ, dilute, post (steps 2-3)."""
+        model = self.models[index]
+        delta: StateDict = {}
+        for name, param in model.named_parameters():
+            delta[name] = param.data - before[name]
+            # Step 2: dilute toward the (possibly stale) reference.
+            param.data = (1.0 - self.alpha) * param.data + self.alpha * self.reference[name]
+        self.queue.put(delta)
+
+    # ------------------------------------------------------------------ #
+    # reference-side steps
+
+    def reference_step(self) -> bool:
+        """Steps 4-5: drain arrived updates; apply once N accumulated.
+
+        Returns True if the reference advanced this call.
+        """
+        for delta in self.queue.drain():
+            for name, value in delta.items():
+                self._accumulated[name] += value
+            self._received += 1
+        if self._received < self.num_parallel:
+            return False
+        scale = 1.0 if self.update_normalization == "sum" else 1.0 / self.num_parallel
+        for name in self.reference:
+            self.reference[name] = self.reference[name] + scale * self._accumulated[name]
+            self._accumulated[name][...] = 0.0
+        self._received = 0
+        return True
+
+    def end_iteration(self) -> bool:
+        """Advance the queue clock, then run the reference process."""
+        self.queue.tick()
+        return self.reference_step()
+
+    # ------------------------------------------------------------------ #
+    # introspection
+
+    def reference_model(self, template: PipelineModel) -> PipelineModel:
+        """Load the reference weights into ``template`` (for evaluation)."""
+        template.load_state_dict(self.reference)
+        return template
+
+    def _average_state(self) -> StateDict:
+        n = len(self.models)
+        avg: StateDict = {}
+        for model in self.models:
+            for name, param in model.named_parameters():
+                if name in avg:
+                    avg[name] += param.data.astype(np.float64)
+                else:
+                    avg[name] = param.data.astype(np.float64).copy()
+        return {k: (v / n).astype(np.float32) for k, v in avg.items()}
+
+    def divergence(self) -> float:
+        """RMS distance of parallel models from the reference — the
+        quantity the elastic term keeps bounded (Figure 5's rationale)."""
+        total = 0.0
+        count = 0
+        for model in self.models:
+            for name, param in model.named_parameters():
+                diff = param.data.astype(np.float64) - self.reference[name]
+                total += float((diff**2).sum())
+                count += diff.size
+        return float(np.sqrt(total / max(count, 1)))

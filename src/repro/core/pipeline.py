@@ -1,0 +1,311 @@
+"""Stage-sliced pipeline execution with real numerics.
+
+The trainers in :mod:`repro.core.trainer` run whole-model passes and
+emulate each system's update semantics at the weight level.  This module
+executes the pipeline *faithfully*: the model is cut by a
+:class:`~repro.graph.partitioner.Partition`, each stage runs only its own
+layers, activations crossing a cut are detached into fresh autograd
+leaves (exactly what shipping a tensor to another device does), backward
+flows stage by stage as gradient bundles, and ops run in the order the
+schedule's op streams dictate — including PipeDream's per-micro-batch
+updates with weight stashing.
+
+Guarantees (tested in ``tests/test_core_pipeline.py``):
+
+* synchronous schedules (AFAB, 1F1B, advance-FP) produce the *same* loss
+  and the same updated weights as a whole-model pass over the same batch
+  (up to float accumulation order);
+* PipeDream mode computes each micro-batch's gradient under the weight
+  version its forward used (weight stashing), then applies it to the
+  latest weights — the staleness semantics of §2/Figure 3b.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping, Sequence
+
+import numpy as np
+
+from repro.graph.partitioner import Partition
+from repro.models.pipeline_model import PipelineLayer, PipelineModel
+from repro.optim.optimizer import Optimizer
+from repro.schedules.base import Schedule, StageOp
+from repro.tensor import Tensor
+
+__all__ = ["StageRuntime", "PipelinedRunner"]
+
+
+def _is_float_tensor(value) -> bool:
+    return isinstance(value, Tensor) and np.issubdtype(value.dtype, np.floating)
+
+
+class StageRuntime:
+    """Executes one contiguous slice of a pipeline model.
+
+    Holds the per-micro-batch stash (input leaves + output tensors), the
+    stage's parameters, and optionally a per-stage optimizer.
+    """
+
+    def __init__(self, layers: Sequence[PipelineLayer], stage_index: int, num_stages: int) -> None:
+        if not layers:
+            raise ValueError("a stage needs at least one layer")
+        self.layers = list(layers)
+        self.stage_index = stage_index
+        self.num_stages = num_stages
+        self.is_first = stage_index == 0
+        self.is_last = stage_index == num_stages - 1
+        #: micro-batch id -> (input leaves by key, output tensors by key)
+        self._stash: dict[int, tuple[dict[str, Tensor], dict[str, Tensor]]] = {}
+        #: micro-batch id -> weight version stashed at forward (PipeDream)
+        self._weight_stash: dict[int, dict[str, np.ndarray]] = {}
+
+    # ------------------------------------------------------------------ #
+
+    def parameters(self):
+        for layer in self.layers:
+            yield from layer.parameters()
+
+    def named_parameters(self):
+        for i, layer in enumerate(self.layers):
+            for name, p in layer.named_parameters():
+                yield f"stage{self.stage_index}.layer{i}.{name}", p
+
+    def state_dict(self) -> dict[str, np.ndarray]:
+        return {name: p.data.copy() for name, p in self.named_parameters()}
+
+    def load_state_dict(self, state: Mapping[str, np.ndarray]) -> None:
+        for name, p in self.named_parameters():
+            p.data = np.array(state[name], dtype=p.dtype, copy=True)
+
+    # ------------------------------------------------------------------ #
+
+    def forward(self, micro: int, bundle_in: Mapping, stash_weights: bool = False) -> dict:
+        """Run the stage's layers on one micro-batch.
+
+        Incoming float tensors are detached into fresh leaves (the cut
+        boundary).  Returns the outgoing bundle as plain data (ndarrays),
+        ready to "ship".  The autograd graph and the leaves stay stashed
+        under ``micro`` until :meth:`backward` releases them.
+        """
+        if micro in self._stash:
+            raise RuntimeError(f"stage {self.stage_index}: micro {micro} already in flight")
+        if stash_weights:
+            self._weight_stash[micro] = self.state_dict()
+
+        leaves: dict[str, Tensor] = {}
+        bundle: dict = {}
+        for key, value in bundle_in.items():
+            if isinstance(value, Tensor) or (
+                isinstance(value, np.ndarray) and np.issubdtype(value.dtype, np.floating)
+            ):
+                data = value.data if isinstance(value, Tensor) else value
+                leaf = Tensor(np.ascontiguousarray(data), requires_grad=not self.is_first)
+                leaves[key] = leaf
+                bundle[key] = leaf
+            else:
+                bundle[key] = value  # integer tokens/labels pass through
+        for layer in self.layers:
+            bundle = layer(bundle)
+
+        outputs: dict[str, Tensor] = {k: v for k, v in bundle.items() if _is_float_tensor(v)}
+        self._stash[micro] = (leaves, outputs)
+
+        shipped: dict = {}
+        for key, value in bundle.items():
+            shipped[key] = value.data if isinstance(value, Tensor) else value
+        return shipped
+
+    def backward(self, micro: int, grad_bundle: Mapping[str, np.ndarray] | None) -> dict[str, np.ndarray]:
+        """Backward for one stashed micro-batch.
+
+        ``grad_bundle`` maps output keys to gradients (None only on the
+        last stage, whose ``loss`` output seeds the backward).  Returns
+        gradients for this stage's float inputs, keyed like the incoming
+        bundle — the payload shipped upstream.  Parameter gradients
+        accumulate on the stage's parameters.
+        """
+        if micro not in self._stash:
+            raise RuntimeError(f"stage {self.stage_index}: no stashed forward for micro {micro}")
+        leaves, outputs = self._stash.pop(micro)
+
+        restored: dict[str, np.ndarray] | None = None
+        if micro in self._weight_stash:
+            restored = self.state_dict()
+            self.load_state_dict(self._weight_stash.pop(micro))
+
+        if self.is_last:
+            if "loss" not in outputs:
+                raise RuntimeError("last stage produced no 'loss'")
+            outputs["loss"].backward()
+        else:
+            if grad_bundle is None:
+                raise ValueError("inner stages need a gradient bundle")
+            for key, grad in grad_bundle.items():
+                out = outputs.get(key)
+                if out is None or not out.requires_grad:
+                    continue
+                out.backward(np.asarray(grad, dtype=out.dtype))
+
+        if restored is not None:
+            self.load_state_dict(restored)
+
+        return {
+            key: leaf.grad if leaf.grad is not None else np.zeros_like(leaf.data)
+            for key, leaf in leaves.items()
+            if leaf.requires_grad
+        }
+
+    @property
+    def in_flight(self) -> int:
+        return len(self._stash)
+
+
+class PipelinedRunner:
+    """Drives a whole pipeline through a schedule's op streams.
+
+    Ops execute in a deterministic dependency-driven sweep: repeatedly
+    scan the stages and run each stage's next op once its input (an
+    activation from upstream or a gradient from downstream) is available.
+    This serializes what a cluster runs concurrently, which is exactly
+    what we want here — the *numerics* of the schedule without its
+    timing (the simulator owns timing).
+    """
+
+    def __init__(
+        self,
+        model: PipelineModel,
+        partition: Partition,
+        schedule: Schedule,
+        optimizer_factory: Callable[[list], Optimizer] | None = None,
+        grad_clip: float | None = 5.0,
+    ) -> None:
+        if partition.num_stages < 1:
+            raise ValueError("need at least one stage")
+        if partition.boundaries[-1] != len(model.layers):
+            raise ValueError(
+                f"partition covers {partition.boundaries[-1]} layers, model has {len(model.layers)}"
+            )
+        self.model = model
+        self.partition = partition
+        self.schedule = schedule
+        self.stages = [
+            StageRuntime(model.slice_layers(lo, hi), k, partition.num_stages)
+            for k, (lo, hi) in enumerate(
+                partition.span(k) for k in range(partition.num_stages)
+            )
+        ]
+        self.grad_clip = grad_clip
+        if optimizer_factory is None:
+            self.stage_optimizers = None
+        else:
+            self.stage_optimizers = [
+                optimizer_factory(list(stage.parameters())) for stage in self.stages
+            ]
+
+    # ------------------------------------------------------------------ #
+
+    def run_batch(self, micro_batches: Sequence[Mapping[str, np.ndarray]]) -> float:
+        """Execute one batch of micro-batches under the schedule.
+
+        Returns the mean loss over micro-batches.  For synchronous
+        schedules, parameter gradients are left accumulated (scaled by
+        1/M) and a single optimizer step is applied per stage if
+        optimizers were provided.  For asynchronous schedules
+        (``sync_at_batch_end == False``), each stage updates right after
+        each micro-batch's backward, using weight stashing.
+        """
+        num_micro = len(micro_batches)
+        if num_micro == 0:
+            raise ValueError("empty batch")
+        K = self.partition.num_stages
+        sync = self.schedule.sync_at_batch_end
+        streams: list[list[StageOp]] = [
+            self.schedule.stage_ops(k, K, num_micro) for k in range(K)
+        ]
+        cursors = [0] * K
+        acts: dict[tuple[int, int], dict] = {}  # (stage, micro) -> incoming bundle
+        grads: dict[tuple[int, int], dict] = {}  # (stage, micro) -> grad bundle
+        losses: dict[int, float] = {}
+
+        for micro, mb in enumerate(micro_batches):
+            acts[(0, micro)] = dict(mb)
+
+        for stage in self.stages:
+            for p in stage.parameters():
+                p.zero_grad()
+
+        total_ops = sum(len(s) for s in streams)
+        executed = 0
+        stall_guard = 0
+        while executed < total_ops:
+            progressed = False
+            for k in range(K):
+                if cursors[k] >= len(streams[k]):
+                    continue
+                op = streams[k][cursors[k]]
+                if op.kind == "fwd":
+                    key = (k, op.micro)
+                    if key not in acts:
+                        continue
+                    bundle_in = acts.pop(key)
+                    shipped = self.stages[k].forward(
+                        op.micro, bundle_in, stash_weights=not sync
+                    )
+                    if k < K - 1:
+                        acts[(k + 1, op.micro)] = shipped
+                    else:
+                        losses[op.micro] = float(np.asarray(shipped["loss"]).reshape(-1)[0])
+                else:  # bwd
+                    if k < K - 1 and (k, op.micro) not in grads:
+                        continue
+                    grad_in = grads.pop((k, op.micro), None)
+                    grad_out = self.stages[k].backward(op.micro, grad_in)
+                    if k > 0:
+                        grads[(k - 1, op.micro)] = grad_out
+                    if not sync:
+                        self._async_step(k, scale=1.0 / num_micro)
+                cursors[k] += 1
+                executed += 1
+                progressed = True
+            if not progressed:
+                stall_guard += 1
+                if stall_guard > total_ops + K:
+                    raise RuntimeError("pipeline op streams deadlocked")
+            else:
+                stall_guard = 0
+
+        mean_loss = float(np.mean([losses[i] for i in range(num_micro)]))
+        if sync:
+            self._sync_step(scale=1.0 / num_micro)
+        return mean_loss
+
+    # ------------------------------------------------------------------ #
+
+    def _scale_grads(self, stage: StageRuntime, scale: float) -> None:
+        for p in stage.parameters():
+            if p.grad is not None:
+                p.grad = p.grad * scale
+
+    def _sync_step(self, scale: float) -> None:
+        for k, stage in enumerate(self.stages):
+            self._scale_grads(stage, scale)
+        if self.stage_optimizers is None:
+            return
+        for k, (stage, opt) in enumerate(zip(self.stages, self.stage_optimizers)):
+            if self.grad_clip is not None:
+                opt.clip_grad_norm(self.grad_clip)
+            opt.step()
+            for p in stage.parameters():
+                p.zero_grad()
+
+    def _async_step(self, k: int, scale: float) -> None:
+        """PipeDream-style immediate update of stage ``k``."""
+        stage = self.stages[k]
+        self._scale_grads(stage, scale)
+        if self.stage_optimizers is not None:
+            opt = self.stage_optimizers[k]
+            if self.grad_clip is not None:
+                opt.clip_grad_norm(self.grad_clip)
+            opt.step()
+        for p in stage.parameters():
+            p.zero_grad()

@@ -1,0 +1,151 @@
+"""Predicting phase of the tuning method (§5.2.2-5.2.3, Equations 1-8).
+
+From one profile at degrees (m, n) the predictor estimates, for any
+candidate (m*, n*), the per-batch training time of each device
+
+    T^k = T_gpu^k + T_com^k + T_bub^k                     (Eq. 1)
+
+and the memory footprint F^k (Eq. 8).  The performance model assumes the
+AFAB shape (the paper argues advance-FP brings 1F1B close enough to AFAB
+that ranking settings on the AFAB model is sound), arithmetic intensity
+proportional to micro-batch size, and utilization additive in the number
+of pipelines — the same assumptions the simulator's processor-sharing
+devices implement, so predictions can be validated against simulation in
+tests and in the Figure-19 benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.profiler import Profile
+
+__all__ = ["Prediction", "Predictor"]
+
+
+@dataclass(frozen=True)
+class Prediction:
+    """Equations 1-8 evaluated for one candidate (M*, N*) setting."""
+    m: int
+    n: int
+    t_gpu: tuple[float, ...]
+    t_com: tuple[float, ...]
+    t_bub: tuple[float, ...]
+    f_total: tuple[float, ...]
+
+    @property
+    def t_per_device(self) -> tuple[float, ...]:
+        return tuple(
+            g + c + b for g, c, b in zip(self.t_gpu, self.t_com, self.t_bub)
+        )
+
+    @property
+    def batch_time(self) -> float:
+        """Predicted per-batch time: the slowest device bounds the pipe."""
+        return max(self.t_per_device)
+
+    @property
+    def peak_memory(self) -> float:
+        return max(self.f_total)
+
+
+class Predictor:
+    """Evaluates Equations 2-8 from a single :class:`Profile`."""
+    def __init__(self, profile: Profile) -> None:
+        self.profile = profile
+
+    # ------------------------------------------------------------------ #
+
+    def predict(self, m_star: int, n_star: int) -> Prediction:
+        if m_star <= 0 or n_star <= 0:
+            raise ValueError("parallelism degrees must be positive")
+        p = self.profile
+        K = p.num_stages
+        m, n = p.m, p.n
+
+        # --- Equation 2: computation time ------------------------------
+        # phi scaling factor.  The paper assumes arithmetic intensity is
+        # proportional to micro-batch size (phi scales by m/m*); when the
+        # device saturation curve is known (our simulator's is), the
+        # honest intensity ratio is u(mb*) / u(mb), which agrees with the
+        # paper's linear model far from saturation and corrects it near
+        # saturation (where linear extrapolation over-ranks small M).
+        if p.curve is not None:
+            mb_profile = p.batch_size / m
+            mb_star = p.batch_size / m_star
+            intensity = p.curve.demand(mb_star) / p.curve.demand(mb_profile)
+        else:
+            intensity = m / m_star
+        ratio = intensity * (n_star / n)  # phi scaling factor
+        lead = 1.0 / ratio
+        t_gpu = []
+        for k in range(K):
+            overflow = p.phi_integral_over(k, ratio)
+            t_gpu.append(lead * (p.t_gpu[k] + overflow))
+
+        # --- Equation 4: communication time blocking the GPU -----------
+        t_com = []
+        t_total_comm = []  # (T-bb^k)* per batch, reused by Eq. 6/7
+        for k in range(K):
+            scaled = (n_star / n) * p.t_comm_total[k]
+            t_total_comm.append(scaled)
+            first = scaled / m_star
+            rest = (m_star - 1) / m_star * max(scaled - t_gpu[k], 0.0)
+            t_com.append(first + rest)
+
+        # --- Equations 5-7: bubble time ---------------------------------
+        t_up = [0.0] * K
+        for k in range(1, K):
+            t_up[k] = t_up[k - 1] + (t_total_comm[k - 1] + t_gpu[k - 1]) / m_star
+        t_down = [0.0] * K
+        for k in range(K - 2, -1, -1):
+            t_down[k] = t_down[k + 1] + (t_total_comm[k + 1] + t_gpu[k + 1]) / m_star
+        t_bub = [u + d for u, d in zip(t_up, t_down)]
+
+        # --- Equation 8: memory footprint -------------------------------
+        # Refinement over the paper's Eq. 8: the co-partitioned reference
+        # copy does not replicate with n*, so only the per-pipeline part
+        # of F_mod scales (the paper's equation conflates the two, which
+        # makes tight-budget N=2 configurations look spuriously infeasible).
+        f_total = []
+        for k in range(K):
+            per_pipeline = p.f_mod[k] - p.f_ref[k]
+            f_mod = (n_star / n) * per_pipeline + p.f_ref[k]
+            f_dat = (m * n_star) / (m_star * n) * p.f_dat[k]
+            f_total.append(f_mod + f_dat)
+
+        return Prediction(
+            m=m_star,
+            n=n_star,
+            t_gpu=tuple(t_gpu),
+            t_com=tuple(t_com),
+            t_bub=tuple(t_bub),
+            f_total=tuple(f_total),
+        )
+
+    # ------------------------------------------------------------------ #
+
+    def best_setting(
+        self,
+        m_candidates: list[int],
+        n_candidates: list[int],
+        memory_limit_bytes: float,
+    ) -> tuple[Prediction, list[Prediction]]:
+        """Evaluate the grid; return (winner, all predictions).
+
+        The winner minimizes predicted per-batch time (Equation 2 already
+        amortizes an iteration over its n* concurrent batches), subject
+        to every device fitting in memory.
+        """
+        if not m_candidates or not n_candidates:
+            raise ValueError("empty candidate lists")
+        predictions = [
+            self.predict(m, n) for m in m_candidates for n in n_candidates
+        ]
+        feasible = [p for p in predictions if p.peak_memory <= memory_limit_bytes]
+        if not feasible:
+            raise RuntimeError(
+                f"no (M, N) setting fits in {memory_limit_bytes / 2**20:.0f} MiB"
+            )
+        winner = min(feasible, key=lambda p: p.batch_time)
+        return winner, predictions

@@ -1,0 +1,185 @@
+"""Profiling phase of the tuning method (§5.2.1).
+
+Runs the runtime for a small number of batches at one setting of the
+parallelism degrees — a rather large M and a small N, so that no GPU is
+saturated (``phi < 100%``; Equation 2 cannot be inverted from a clipped
+curve) — and collects, per device k:
+
+* ``t_gpu[k]`` — computation time per batch,
+* ``t_comm_total[k]`` — total communication time the stage *sent* per
+  batch (the paper's T-bb^k),
+* ``phi[k]`` — the utilization curve phi^k(t) as a step function,
+* ``f_mod[k]`` / ``f_dat[k]`` — model and data memory footprints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.graph.cost_model import LayerCost
+from repro.graph.partitioner import Partition
+from repro.schedules.base import Schedule
+from repro.schedules.executor import PipelineSimRunner, SimIterationResult, StageCosts
+from repro.sim.cluster import Cluster, ClusterSpec, make_cluster
+from repro.sim.device import UtilizationCurve
+from repro.sim.events import Simulator
+
+__all__ = ["Profile", "Profiler"]
+
+
+@dataclass
+class Profile:
+    """Everything the predictor needs, measured at setting (m, n)."""
+
+    m: int  # profiled micro-batch number
+    n: int  # profiled pipeline number
+    batch_size: int
+    num_stages: int
+    t_gpu: list[float]  # per device, per batch
+    t_comm_total: list[float]  # per device, per batch
+    phi_times: list[np.ndarray]  # step-function knots per device
+    phi_values: list[np.ndarray]
+    f_mod: list[int]  # model(+versions+opt) bytes per device
+    f_ref: list[int]  # reference-copy bytes (do not scale with N)
+    f_dat: list[int]  # peak activation bytes per device
+    batch_time: float
+    profiling_cost: float  # simulated seconds spent profiling
+    #: the device saturation curve, if known.  The paper's Equation 2
+    #: assumes arithmetic intensity scales linearly with micro-batch size
+    #: ("as a simplification of real-world environments"); when the curve
+    #: is available the predictor scales phi by the curve ratio instead,
+    #: which ranks settings correctly on saturating hardware.
+    curve: UtilizationCurve | None = None
+
+    def phi_integral_over(self, k: int, scale: float) -> float:
+        """``integral of max(scale * phi_k(t) - 1, 0) dt`` per batch."""
+        times, values = self.phi_times[k], self.phi_values[k]
+        total = 0.0
+        for i in range(len(times)):
+            t_next = times[i + 1] if i + 1 < len(times) else times[-1]
+            dt = t_next - times[i]
+            if dt > 0:
+                total += dt * max(scale * values[i] - 1.0, 0.0)
+        return total
+
+
+class Profiler:
+    """Drives a profiling run on a fresh simulated cluster."""
+
+    def __init__(
+        self,
+        layer_costs: list[LayerCost],
+        partition: Partition,
+        schedule: Schedule,
+        cluster_spec: ClusterSpec,
+        batch_size: int,
+        activation_byte_scale: float = 1.0,
+        param_byte_scale: float = 1.0,
+        stash_multiplier: float = 6.0,
+        optimizer_state_factor: float = 2.0,
+        with_reference_model: bool = True,
+        activation_recompute: bool = False,
+    ) -> None:
+        self.layer_costs = layer_costs
+        self.partition = partition
+        self.schedule = schedule
+        self.cluster_spec = cluster_spec
+        self.batch_size = batch_size
+        self.activation_byte_scale = activation_byte_scale
+        self.param_byte_scale = param_byte_scale
+        self.stash_multiplier = stash_multiplier
+        self.optimizer_state_factor = optimizer_state_factor
+        self.with_reference_model = with_reference_model
+        self.activation_recompute = activation_recompute
+
+    def run_setting(
+        self,
+        m: int,
+        n: int,
+        iterations: int = 3,
+        record_utilization: bool = False,
+        render_timeline: bool = False,
+    ) -> SimIterationResult:
+        """Simulate ``iterations`` batches at parallelism degrees (m, n)."""
+        if self.batch_size % m != 0:
+            raise ValueError(f"batch {self.batch_size} not divisible by M={m}")
+        sim = Simulator()
+        cluster = Cluster(sim, self.cluster_spec)
+        stage_costs = StageCosts.from_partition(
+            self.layer_costs,
+            self.partition,
+            mb_size=self.batch_size / m,
+            activation_byte_scale=self.activation_byte_scale,
+            param_byte_scale=self.param_byte_scale,
+            stash_multiplier=self.stash_multiplier,
+        )
+        runner = PipelineSimRunner(
+            cluster,
+            self.schedule,
+            stage_costs,
+            num_micro=m,
+            mb_size=self.batch_size / m,
+            num_pipelines=n,
+            with_reference_model=self.with_reference_model,
+            optimizer_state_factor=self.optimizer_state_factor,
+            record_utilization=record_utilization,
+            activation_recompute=self.activation_recompute,
+        )
+        return runner.run(iterations=iterations, render_timeline=render_timeline)
+
+    def profile(self, m: int | None = None, n: int = 1, iterations: int = 4) -> Profile:
+        """The §5.2.1 profiling run: large M, small N, a few batches."""
+        if m is None:
+            # largest power-of-two micro-batch count that keeps >= 2 samples
+            m = 1
+            while self.batch_size % (m * 2) == 0 and self.batch_size // (m * 2) >= 2:
+                m *= 2
+        sim = Simulator()
+        cluster = Cluster(sim, self.cluster_spec)
+        stage_costs = StageCosts.from_partition(
+            self.layer_costs,
+            self.partition,
+            mb_size=self.batch_size / m,
+            activation_byte_scale=self.activation_byte_scale,
+            param_byte_scale=self.param_byte_scale,
+            stash_multiplier=self.stash_multiplier,
+        )
+        runner = PipelineSimRunner(
+            cluster,
+            self.schedule,
+            stage_costs,
+            num_micro=m,
+            mb_size=self.batch_size / m,
+            num_pipelines=n,
+            with_reference_model=self.with_reference_model,
+            optimizer_state_factor=self.optimizer_state_factor,
+            record_utilization=False,
+            activation_recompute=self.activation_recompute,
+        )
+        result = runner.run(iterations=iterations)
+        if result.oom is not None:
+            raise result.oom
+        K = result.num_stages
+        phi_times, phi_values = [], []
+        for k in range(K):
+            steps = cluster.devices[k].compute.utilization_steps
+            phi_times.append(np.array([t for t, _ in steps]) / iterations)
+            phi_values.append(np.array([u for _, u in steps]))
+        return Profile(
+            m=m,
+            n=n,
+            batch_size=self.batch_size,
+            curve=self.cluster_spec.curve,
+            num_stages=K,
+            t_gpu=[d["gpu"] for d in result.decomposition],
+            t_comm_total=list(result.comm_sent_time),
+            phi_times=phi_times,
+            phi_values=phi_values,
+            f_mod=list(result.weight_memory),
+            f_ref=list(result.reference_memory),
+            f_dat=list(result.data_memory_peak),
+            batch_time=result.batch_time,
+            profiling_cost=result.total_time,
+        )

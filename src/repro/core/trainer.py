@@ -1,0 +1,342 @@
+"""Real-numerics training loops with each system's update semantics.
+
+These drive the statistical-efficiency comparisons (Figure 14).  Timing
+is *not* modelled here (that's the simulator's job); what differs between
+systems is purely how weights evolve:
+
+* :class:`SyncTrainer` — synchronous SGD-semantics shared by PyTorch-DDP,
+  GPipe and Dapple: one optimizer step per batch from the full-batch
+  gradient.  (They differ in speed, not numerics.)
+* :class:`PipeDreamTrainer` — multi-version asynchronous pipeline:
+  per-micro-batch updates applied with a delay of K-1 steps (the version
+  skew weight stashing induces).  This is the staleness that costs
+  PipeDream statistical efficiency on AWD in Figure 14.
+* :class:`PipeDream2BWTrainer` — gradient accumulated over the batch but
+  applied one batch late (2BW's bounded staleness).
+* :class:`AvgPipeTrainer` — the elastic-averaging framework: N parallel
+  models each consume their own batch per iteration, local optimizer
+  step, elastic dilution against the (async) reference, reference update
+  once all N arrive.  Evaluation reads the reference model.
+
+Every trainer shares one loop skeleton so the comparison is apples to
+apples: same loaders, same seeds, same gradient clipping, same
+per-epoch evaluation.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Iterable
+
+import numpy as np
+
+from repro.core.elastic import ElasticAveragingFramework
+from repro.models.pipeline_model import PipelineModel
+from repro.models.registry import WorkloadSpec
+
+__all__ = [
+    "TrainResult",
+    "SyncTrainer",
+    "PipeDreamTrainer",
+    "PipeDream2BWTrainer",
+    "AvgPipeTrainer",
+]
+
+GRAD_CLIP = 5.0
+
+
+@dataclass
+class TrainResult:
+    """Outcome of one training run: epochs, target status, metric history."""
+    system: str
+    workload: str
+    reached_target: bool
+    epochs_to_target: int  # = epochs run if never reached
+    epochs_run: int
+    iterations: int
+    metric_history: list[float] = field(default_factory=list)
+
+    @property
+    def final_metric(self) -> float:
+        return self.metric_history[-1] if self.metric_history else float("nan")
+
+
+def _batches(loader) -> Iterable[dict[str, np.ndarray]]:
+    return loader if isinstance(loader, list) else iter(loader)
+
+
+class _TrainerBase:
+    system = "base"
+
+    def __init__(self, spec: WorkloadSpec, seed: int = 0, max_epochs: int = 40) -> None:
+        self.spec = spec
+        self.seed = seed
+        self.max_epochs = max_epochs
+
+    def train(self) -> TrainResult:
+        raise NotImplementedError
+
+    def _loop(self, epoch_fn, evaluate_fn) -> TrainResult:
+        """Shared epoch loop: run, evaluate, stop at target."""
+        history: list[float] = []
+        iterations = 0
+        reached = False
+        epochs = 0
+        for epoch in range(self.max_epochs):
+            iterations += epoch_fn(epoch)
+            epochs = epoch + 1
+            metric = evaluate_fn()
+            history.append(metric)
+            if self.spec.target_reached(metric):
+                reached = True
+                break
+        return TrainResult(
+            system=self.system,
+            workload=self.spec.name,
+            reached_target=reached,
+            epochs_to_target=epochs,
+            epochs_run=epochs,
+            iterations=iterations,
+            metric_history=history,
+        )
+
+
+class SyncTrainer(_TrainerBase):
+    """Synchronous full-batch-gradient training (PyTorch / GPipe / Dapple)."""
+
+    system = "sync"
+
+    def __init__(self, spec: WorkloadSpec, seed: int = 0, max_epochs: int = 40) -> None:
+        super().__init__(spec, seed, max_epochs)
+        self.model = spec.build_model().seed(seed)
+        self.optimizer = spec.make_optimizer(self.model)
+        self.loader = spec.make_train_loader(spec.batch_size, seed)
+
+    def train(self) -> TrainResult:
+        def epoch_fn(_: int) -> int:
+            count = 0
+            for batch in _batches(self.loader):
+                self.model.zero_grad()
+                self.model.loss(batch).backward()
+                self.optimizer.clip_grad_norm(GRAD_CLIP)
+                self.optimizer.step()
+                count += 1
+            return count
+
+        return self._loop(epoch_fn, lambda: self.spec.evaluate(self.model))
+
+
+class PipeDreamTrainer(_TrainerBase):
+    """Delayed per-micro-batch updates (PipeDream's multi-version skew).
+
+    The pipeline applies the update computed from weights that are
+    ``delay`` micro-batch steps old; ``delay = K - 1`` models a K-stage
+    PipeDream.  Implemented via a gradient FIFO: the gradient computed at
+    step t is applied at step t + delay.
+    """
+
+    system = "pipedream"
+
+    def __init__(
+        self,
+        spec: WorkloadSpec,
+        seed: int = 0,
+        max_epochs: int = 40,
+        num_stages: int | None = None,
+        num_micro: int = 4,
+    ) -> None:
+        super().__init__(spec, seed, max_epochs)
+        self.model = spec.build_model().seed(seed)
+        self.optimizer = spec.make_optimizer(self.model)
+        self.loader = spec.make_train_loader(spec.batch_size, seed)
+        self.delay = (num_stages or spec.paper_devices) - 1
+        self.num_micro = num_micro
+
+    def train(self) -> TrainResult:
+        params = list(self.model.parameters())
+        fifo: deque[list[np.ndarray]] = deque()
+
+        def apply_delayed() -> None:
+            grads = fifo.popleft()
+            for p, g in zip(params, grads):
+                p.grad = g
+            self.optimizer.clip_grad_norm(GRAD_CLIP)
+            self.optimizer.step()
+            for p in params:
+                p.grad = None
+
+        def epoch_fn(_: int) -> int:
+            count = 0
+            for batch in _batches(self.loader):
+                micros = _split_batch(batch, self.num_micro)
+                for micro in micros:
+                    self.model.zero_grad()
+                    self.model.loss(micro).backward()
+                    fifo.append([
+                        p.grad.copy() if p.grad is not None else np.zeros_like(p.data)
+                        for p in params
+                    ])
+                    if len(fifo) > self.delay:
+                        apply_delayed()
+                count += 1
+            return count
+
+        return self._loop(epoch_fn, lambda: self.spec.evaluate(self.model))
+
+
+class PipeDream2BWTrainer(_TrainerBase):
+    """Batch gradient applied one batch late (2BW bounded staleness)."""
+
+    system = "pipedream-2bw"
+
+    def __init__(self, spec: WorkloadSpec, seed: int = 0, max_epochs: int = 40) -> None:
+        super().__init__(spec, seed, max_epochs)
+        self.model = spec.build_model().seed(seed)
+        self.optimizer = spec.make_optimizer(self.model)
+        self.loader = spec.make_train_loader(spec.batch_size, seed)
+
+    def train(self) -> TrainResult:
+        params = list(self.model.parameters())
+        pending: list[np.ndarray] | None = None
+
+        def epoch_fn(_: int) -> int:
+            nonlocal pending
+            count = 0
+            for batch in _batches(self.loader):
+                self.model.zero_grad()
+                self.model.loss(batch).backward()
+                fresh = [
+                    p.grad.copy() if p.grad is not None else np.zeros_like(p.data)
+                    for p in params
+                ]
+                if pending is not None:
+                    for p, g in zip(params, pending):
+                        p.grad = g
+                    self.optimizer.clip_grad_norm(GRAD_CLIP)
+                    self.optimizer.step()
+                    for p in params:
+                        p.grad = None
+                pending = fresh
+                count += 1
+            return count
+
+        return self._loop(epoch_fn, lambda: self.spec.evaluate(self.model))
+
+
+class AvgPipeTrainer(_TrainerBase):
+    """The elastic-averaging framework over N parallel pipelines (§3.2).
+
+    By default each parallel model runs whole-model passes (fast, and
+    numerically identical to stage-sliced execution for synchronous
+    schedules — proven in ``tests/test_core_pipeline.py``).  Passing
+    ``partition``/``num_micro`` switches to *faithful* execution: every
+    model runs through :class:`~repro.core.pipeline.PipelinedRunner`,
+    stage by stage, micro-batch by micro-batch, in schedule order.
+    """
+
+    system = "avgpipe"
+
+    def __init__(
+        self,
+        spec: WorkloadSpec,
+        seed: int = 0,
+        max_epochs: int = 40,
+        num_pipelines: int = 2,
+        alpha: float | None = None,
+        queue_delay: int = 1,
+        update_normalization: str = "mean",
+        partition=None,
+        num_micro: int | None = None,
+        schedule=None,
+    ) -> None:
+        super().__init__(spec, seed, max_epochs)
+        if num_pipelines < 1:
+            raise ValueError("num_pipelines must be >= 1")
+        if alpha is None:
+            # The paper sets alpha = 1/N "empirically" on its testbed; the
+            # same empirical tuning at this miniature's scale (fewer, larger
+            # steps) lands at half that — 1/N over-pulls and costs epochs
+            # (measured in docs/elastic_averaging.md).
+            alpha = 0.5 / num_pipelines
+        self.num_pipelines = num_pipelines
+        # All pipelines start from identical weights (same init seed) but
+        # draw distinct dropout streams, like processes sharing a checkpoint.
+        self.models = [spec.build_model().seed(seed) for _ in range(num_pipelines)]
+        base_state = self.models[0].state_dict()
+        for m in self.models[1:]:
+            m.load_state_dict(base_state)
+        for i, m in enumerate(self.models[1:], start=1):
+            m.seed(seed * 7919 + i)
+            m.load_state_dict(base_state)  # seeding must not touch weights
+        self.optimizers = [spec.make_optimizer(m) for m in self.models]
+        self.framework = ElasticAveragingFramework(
+            self.models, alpha=alpha, queue_delay=queue_delay,
+            update_normalization=update_normalization,
+        )
+        self.loader = spec.make_train_loader(spec.batch_size, seed)
+        self.eval_template = spec.build_model()
+        self.runners = None
+        if partition is not None:
+            from repro.core.pipeline import PipelinedRunner
+            from repro.schedules.base import AdvanceFPSchedule
+
+            self.num_micro = num_micro or 4
+            self.runners = [
+                PipelinedRunner(m, partition, schedule or AdvanceFPSchedule(1))
+                for m in self.models
+            ]
+
+    def _compute_gradients(self, i: int, batch: dict) -> None:
+        """Whole-model or faithful stage-sliced backward for model ``i``."""
+        model = self.models[i]
+        if self.runners is None:
+            model.zero_grad()
+            model.loss(batch).backward()
+            return
+        from repro.data.dataset import split_microbatches
+
+        size = len(next(iter(batch.values())))
+        m = self.num_micro
+        while size % m != 0:
+            m -= 1
+        self.runners[i].run_batch(split_microbatches(batch, max(m, 1)))
+
+    def train(self) -> TrainResult:
+        def epoch_fn(_: int) -> int:
+            count = 0
+            pending: list[dict[str, np.ndarray]] = []
+            for batch in _batches(self.loader):
+                i = len(pending)
+                model, opt = self.models[i], self.optimizers[i]
+                before = self.framework.capture(i)
+                self._compute_gradients(i, batch)
+                opt.clip_grad_norm(GRAD_CLIP)
+                opt.step()
+                pending.append(before)
+                self.framework.commit(i, before)
+                if len(pending) == self.num_pipelines:
+                    self.framework.end_iteration()
+                    pending.clear()
+                count += 1
+            if pending:  # ragged tail of the epoch
+                self.framework.end_iteration()
+                pending.clear()
+            return count
+
+        def evaluate() -> float:
+            self.framework.reference_model(self.eval_template)
+            return self.spec.evaluate(self.eval_template)
+
+        return self._loop(epoch_fn, evaluate)
+
+
+def _split_batch(batch: dict[str, np.ndarray], num_micro: int) -> list[dict[str, np.ndarray]]:
+    size = len(next(iter(batch.values())))
+    num_micro = max(1, min(num_micro, size))
+    edges = np.linspace(0, size, num_micro + 1, dtype=int)
+    return [
+        {k: v[lo:hi] for k, v in batch.items()}
+        for lo, hi in zip(edges[:-1], edges[1:])
+        if hi > lo
+    ]

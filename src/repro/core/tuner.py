@@ -1,0 +1,168 @@
+"""Parallelism-degree tuning strategies (§5, Figures 18-19).
+
+* :class:`ProfilingTuner` — the paper's method: one short profiling run,
+  Equations 2-8 over the candidate grid, pick the feasible minimum.
+* :class:`TraversalTuner` — ground truth: actually run every setting for
+  a few batches and pick the fastest (the "takes hours" baseline).
+* :class:`GuidelineTuner` — the two naive guidelines: ``max-num``
+  (micro-batch size one, then as many pipelines as memory allows) and
+  ``max-size`` (one micro-batch per batch, then pipelines).
+
+All tuners report their *tuning cost* in simulated seconds — the quantity
+Figure 18 compares — and the chosen setting's measured batch time — the
+quantity Figure 19 compares.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.predictor import Prediction, Predictor
+from repro.core.profiler import Profile, Profiler
+
+__all__ = ["TuningOutcome", "ProfilingTuner", "TraversalTuner", "GuidelineTuner"]
+
+
+@dataclass
+class TuningOutcome:
+    """A tuner's chosen (M, N) with its measurement cost and quality."""
+    method: str
+    m: int
+    n: int
+    tuning_cost: float  # simulated seconds spent measuring
+    measured_batch_time: float  # at the chosen setting
+    details: list = field(default_factory=list)
+
+
+def default_m_candidates(batch_size: int) -> list[int]:
+    """Divisor-of-batch powers of two (micro-batch counts)."""
+    out = []
+    m = 1
+    while m <= batch_size:
+        if batch_size % m == 0:
+            out.append(m)
+        m *= 2
+    return out
+
+
+def _measure(profiler: Profiler, m: int, n: int, iterations: int = 3) -> tuple[float, float]:
+    """(batch time, simulated cost) of actually running a setting."""
+    result = profiler.run_setting(m, n, iterations=iterations)
+    if result.oom is not None:
+        return float("inf"), 0.0
+    return result.batch_time, result.total_time
+
+
+class ProfilingTuner:
+    """The paper's method: one profile + Equations 2-8 over the grid."""
+    def __init__(self, profiler: Profiler, memory_limit_bytes: float) -> None:
+        self.profiler = profiler
+        self.memory_limit = memory_limit_bytes
+
+    def tune(
+        self,
+        m_candidates: list[int] | None = None,
+        n_candidates: list[int] | None = None,
+        profile_iterations: int = 4,
+    ) -> TuningOutcome:
+        batch = self.profiler.batch_size
+        m_candidates = m_candidates or default_m_candidates(batch)
+        n_candidates = n_candidates or [1, 2, 3, 4]
+        profile: Profile = self.profiler.profile(iterations=profile_iterations)
+        predictor = Predictor(profile)
+        winner, predictions = predictor.best_setting(
+            m_candidates, n_candidates, self.memory_limit
+        )
+        measured, _ = _measure(self.profiler, winner.m, winner.n)
+        return TuningOutcome(
+            method="profiling",
+            m=winner.m,
+            n=winner.n,
+            tuning_cost=profile.profiling_cost,
+            measured_batch_time=measured,
+            details=predictions,
+        )
+
+
+class TraversalTuner:
+    """Ground truth: simulate every setting and keep the fastest feasible."""
+    def __init__(
+        self, profiler: Profiler, memory_limit_bytes: float, iterations_per_setting: int = 3
+    ) -> None:
+        self.profiler = profiler
+        self.memory_limit = memory_limit_bytes
+        self.iterations_per_setting = iterations_per_setting
+
+    def tune(
+        self,
+        m_candidates: list[int] | None = None,
+        n_candidates: list[int] | None = None,
+    ) -> TuningOutcome:
+        batch = self.profiler.batch_size
+        m_candidates = m_candidates or default_m_candidates(batch)
+        n_candidates = n_candidates or [1, 2, 3, 4]
+        best: tuple[float, int, int, float] | None = None
+        cost = 0.0
+        rows = []
+        for m in m_candidates:
+            for n in n_candidates:
+                result = self.profiler.run_setting(m, n, iterations=self.iterations_per_setting)
+                if result.oom is not None:
+                    rows.append((m, n, float("inf")))
+                    continue
+                cost += result.total_time
+                peak = max(result.peak_memory)
+                # Compare throughput per *batch*: an iteration advances n
+                # batches concurrently.
+                per_batch = result.batch_time / n
+                rows.append((m, n, per_batch))
+                if peak > self.memory_limit:
+                    continue
+                if best is None or per_batch < best[0]:
+                    best = (per_batch, m, n, result.batch_time)
+        if best is None:
+            raise RuntimeError("traversal found no feasible setting")
+        return TuningOutcome(
+            method="traversal",
+            m=best[1],
+            n=best[2],
+            tuning_cost=cost,
+            measured_batch_time=best[3],
+            details=rows,
+        )
+
+
+class GuidelineTuner:
+    """The §5.1 naive guidelines."""
+
+    def __init__(self, profiler: Profiler, memory_limit_bytes: float) -> None:
+        self.profiler = profiler
+        self.memory_limit = memory_limit_bytes
+
+    def _max_pipelines(self, m: int, n_candidates: list[int]) -> int:
+        """Largest feasible N at micro-batch count ``m`` (by memory)."""
+        best = 1
+        for n in sorted(n_candidates):
+            result = self.profiler.run_setting(m, n, iterations=1)
+            if result.oom is not None:
+                break
+            if max(result.peak_memory) <= self.memory_limit:
+                best = n
+            else:
+                break
+        return best
+
+    def tune(self, guideline: str, n_candidates: list[int] | None = None) -> TuningOutcome:
+        n_candidates = n_candidates or [1, 2, 3, 4]
+        batch = self.profiler.batch_size
+        if guideline == "max-num":
+            m = batch  # micro-batch size one
+        elif guideline == "max-size":
+            m = 1  # the whole batch as a single micro-batch
+        else:
+            raise ValueError(f"unknown guideline {guideline!r}")
+        n = self._max_pipelines(m, n_candidates)
+        measured, cost = _measure(self.profiler, m, n)
+        return TuningOutcome(
+            method=guideline, m=m, n=n, tuning_cost=cost, measured_batch_time=measured
+        )

@@ -1,0 +1,40 @@
+"""Datasets and loaders.
+
+The paper trains on WMT16 (GNMT), GLUE-QQP (BERT) and Penn Treebank
+(AWD-LSTM); none are available offline, so each is replaced by a seeded
+synthetic corpus that preserves what the experiments measure — a
+learnable task with a quality metric whose *epochs-to-target* responds to
+batch size, staleness, and averaging exactly like the real ones do:
+
+* :mod:`synthetic_translation` — sequence transduction with a rule-based
+  target (local reordering + token mapping) and a BLEU-like score.
+* :mod:`synthetic_paraphrase` — sentence-pair binary classification with
+  template-generated paraphrase pairs and top-1 accuracy.
+* :mod:`synthetic_lm` — a Markov-chain character corpus scored by
+  validation loss (perplexity).
+"""
+
+from repro.data.vocab import Vocab, PAD, BOS, EOS, UNK
+from repro.data.dataset import ArrayDataset, DataLoader, Dataset
+from repro.data.synthetic_translation import TranslationConfig, make_translation_dataset, bleu_like
+from repro.data.synthetic_paraphrase import ParaphraseConfig, make_paraphrase_dataset
+from repro.data.synthetic_lm import LMConfig, make_lm_corpus, batchify_lm
+
+__all__ = [
+    "Vocab",
+    "PAD",
+    "BOS",
+    "EOS",
+    "UNK",
+    "Dataset",
+    "ArrayDataset",
+    "DataLoader",
+    "TranslationConfig",
+    "make_translation_dataset",
+    "bleu_like",
+    "ParaphraseConfig",
+    "make_paraphrase_dataset",
+    "LMConfig",
+    "make_lm_corpus",
+    "batchify_lm",
+]

@@ -1,0 +1,59 @@
+"""Token vocabulary with the four standard special symbols."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+__all__ = ["Vocab", "PAD", "BOS", "EOS", "UNK"]
+
+PAD, BOS, EOS, UNK = 0, 1, 2, 3
+_SPECIALS = ["<pad>", "<bos>", "<eos>", "<unk>"]
+
+
+class Vocab:
+    """Bidirectional token <-> id mapping.
+
+    Ids 0..3 are reserved for ``<pad>``, ``<bos>``, ``<eos>``, ``<unk>``.
+    """
+
+    def __init__(self, tokens: Iterable[str] = ()) -> None:
+        self._itos: list[str] = list(_SPECIALS)
+        self._stoi: dict[str, int] = {t: i for i, t in enumerate(self._itos)}
+        for token in tokens:
+            self.add(token)
+
+    def add(self, token: str) -> int:
+        idx = self._stoi.get(token)
+        if idx is None:
+            idx = len(self._itos)
+            self._itos.append(token)
+            self._stoi[token] = idx
+        return idx
+
+    def __len__(self) -> int:
+        return len(self._itos)
+
+    def __contains__(self, token: str) -> bool:
+        return token in self._stoi
+
+    def token(self, idx: int) -> str:
+        return self._itos[idx]
+
+    def index(self, token: str) -> int:
+        return self._stoi.get(token, UNK)
+
+    def encode(self, tokens: Sequence[str], add_bos: bool = False, add_eos: bool = False) -> list[int]:
+        ids = [self.index(t) for t in tokens]
+        if add_bos:
+            ids.insert(0, BOS)
+        if add_eos:
+            ids.append(EOS)
+        return ids
+
+    def decode(self, ids: Sequence[int], strip_special: bool = True) -> list[str]:
+        out = []
+        for i in ids:
+            if strip_special and i in (PAD, BOS, EOS):
+                continue
+            out.append(self._itos[i] if 0 <= i < len(self._itos) else "<unk>")
+        return out

@@ -1,0 +1,108 @@
+"""Figure 11: end-to-end training time to the quality target.
+
+Two layers of comparison, reported side by side:
+
+* **epoch time** — batches/epoch x simulated time-per-batch: the pure
+  systems measurement (scheduling, overlap, utilization).  This is where
+  the paper's headline speedups live and where our reproduction matches
+  (AvgPipe beats every baseline it is memory-matched to).
+* **time to target** — epoch time x measured epochs-to-target from real
+  training.  The paper's Figure 14 shows AvgPipe's epochs equal to
+  PyTorch's on its noise-dominated real datasets; our signal-dominated
+  miniature pays up to ~2x epochs at N=2 with Adam (see
+  docs/elastic_averaging.md), which partially offsets the systems win in
+  this column.  Both columns are printed so the regime difference is
+  visible rather than hidden.
+
+Also derives the paper's headline aggregates over *epoch time*:
+AvgPipe's average speedup vs data parallelism (paper: 4.7x) and vs the
+pipeline baselines (paper: 1.7x).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.common import (
+    BASELINE_ORDER,
+    VARIANT_TAG,
+    avgpipe_matched_to,
+    run_baseline,
+)
+from repro.experiments.statistical import statistical_results
+from repro.models.registry import build_workload
+from repro.utils.stats import geometric_mean
+
+__all__ = ["run_fig11", "Fig11Row"]
+
+
+@dataclass
+class Fig11Row:
+    """One (workload, system) cell of Figure 11."""
+    workload: str
+    system: str
+    epochs: int | None
+    time_per_batch: float | None  # simulated seconds
+    epoch_time: float | None  # simulated seconds per epoch
+    training_time: float | None  # simulated seconds to target
+    oom: bool = False
+    note: str = ""
+
+
+def _batches_per_epoch(workload: str) -> int:
+    spec = build_workload(workload)
+    loader = spec.make_train_loader(spec.batch_size, 0)
+    return len(loader) if not isinstance(loader, list) else len(loader)
+
+
+def run_fig11(workloads: tuple[str, ...] = ("gnmt", "bert", "awd")) -> dict:
+    """Regenerate Figure 11 (see the module docstring)."""
+    rows: list[Fig11Row] = []
+    epoch_speedups_vs_dp: list[float] = []
+    epoch_speedups_vs_pipeline: list[float] = []
+
+    for wl in workloads:
+        stats = statistical_results(wl)
+        batches = _batches_per_epoch(wl)
+
+        baseline_epoch_time: dict[str, float] = {}
+        for name in BASELINE_ORDER:
+            base = run_baseline(wl, name)
+            if base.oom:
+                rows.append(Fig11Row(wl, base.display, None, None, None, None, oom=True))
+                continue
+            epochs = stats[name].epochs_to_target
+            epoch_time = batches * base.time_per_batch
+            baseline_epoch_time[name] = epoch_time
+            rows.append(
+                Fig11Row(wl, base.display, epochs, base.time_per_batch, epoch_time,
+                         epochs * epoch_time)
+            )
+
+        avg_epochs = stats["avgpipe"].epochs_to_target
+        for name in BASELINE_ORDER:
+            base = run_baseline(wl, name)
+            if base.oom:
+                continue
+            matched = avgpipe_matched_to(wl, name)
+            epoch_time = batches * matched.time_per_batch
+            note = (
+                f"M={matched.num_micro} N={matched.num_pipelines}"
+                + (f" budget x{matched.budget_relaxation:.2f}" if matched.budget_relaxation > 1 else "")
+            )
+            rows.append(
+                Fig11Row(wl, VARIANT_TAG[name], avg_epochs, matched.time_per_batch,
+                         epoch_time, avg_epochs * epoch_time, note=note)
+            )
+            if name == "pytorch":
+                epoch_speedups_vs_dp.append(baseline_epoch_time[name] / epoch_time)
+            else:
+                epoch_speedups_vs_pipeline.append(baseline_epoch_time[name] / epoch_time)
+
+    return {
+        "rows": rows,
+        "avg_speedup_vs_dp": geometric_mean(epoch_speedups_vs_dp) if epoch_speedups_vs_dp else float("nan"),
+        "avg_speedup_vs_pipeline": (
+            geometric_mean(epoch_speedups_vs_pipeline) if epoch_speedups_vs_pipeline else float("nan")
+        ),
+    }

@@ -1,0 +1,68 @@
+"""Figure 12: per-system GPU memory footprints (peak over devices)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.common import (
+    BASELINE_ORDER,
+    VARIANT_TAG,
+    avgpipe_matched_to,
+    run_baseline,
+)
+
+__all__ = ["run_fig12", "Fig12Row"]
+
+MIB = 2**20
+
+
+@dataclass
+class Fig12Row:
+    """One (workload, system) cell of Figure 12."""
+    workload: str
+    system: str
+    peak_memory_mib: float | None
+    weight_mib: float | None
+    activation_mib: float | None
+    oom: bool = False
+    over_capacity: bool = False  # DP's unenforced replica (paper anomaly)
+
+
+def run_fig12(workloads: tuple[str, ...] = ("gnmt", "bert", "awd")) -> dict:
+    """Regenerate Figure 12's memory-footprint rows."""
+    from repro.core.simcfg import calibration_for
+
+    rows: list[Fig12Row] = []
+    for wl in workloads:
+        capacity = calibration_for(wl).memory_capacity_bytes
+        for name in BASELINE_ORDER:
+            base = run_baseline(wl, name)
+            if base.oom:
+                rows.append(Fig12Row(wl, base.display, None, None, None, oom=True))
+                continue
+            peak = max(base.result.peak_memory)
+            rows.append(
+                Fig12Row(
+                    wl,
+                    base.display,
+                    peak / MIB,
+                    max(base.result.weight_memory) / MIB,
+                    max(base.result.data_memory_peak) / MIB,
+                    over_capacity=peak > capacity,
+                )
+            )
+        for name in BASELINE_ORDER:
+            base = run_baseline(wl, name)
+            if base.oom:
+                continue
+            matched = avgpipe_matched_to(wl, name)
+            rows.append(
+                Fig12Row(
+                    wl,
+                    VARIANT_TAG[name],
+                    max(matched.result.peak_memory) / MIB,
+                    max(matched.result.weight_memory) / MIB,
+                    max(matched.result.data_memory_peak) / MIB,
+                )
+            )
+    return {"rows": rows}

@@ -1,0 +1,50 @@
+"""Figure 13: averaged GPU utilization per system and workload.
+
+The paper reports AvgPipe improving utilization by 86.1% (GNMT), 41.3%
+(BERT) and 19.6% (AWD) over the baselines' average; the harness computes
+the same relative improvement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.experiments.common import (
+    BASELINE_ORDER,
+    avgpipe_matched_to,
+    run_baseline,
+)
+
+__all__ = ["run_fig13", "Fig13Row"]
+
+
+@dataclass
+class Fig13Row:
+    """One (workload, system) cell of Figure 13."""
+    workload: str
+    system: str
+    avg_utilization: float | None
+    oom: bool = False
+
+
+def run_fig13(workloads: tuple[str, ...] = ("gnmt", "bert", "awd")) -> dict:
+    """Regenerate Figure 13 plus AvgPipe's relative utilization gains."""
+    rows: list[Fig13Row] = []
+    improvements: dict[str, float] = {}
+    for wl in workloads:
+        baseline_utils = []
+        for name in BASELINE_ORDER:
+            base = run_baseline(wl, name)
+            if base.oom:
+                rows.append(Fig13Row(wl, base.display, None, oom=True))
+                continue
+            rows.append(Fig13Row(wl, base.display, base.result.avg_utilization))
+            baseline_utils.append(base.result.avg_utilization)
+        matched = avgpipe_matched_to(wl, "gpipe")
+        rows.append(Fig13Row(wl, "AvgPipe", matched.result.avg_utilization))
+        improvements[wl] = (
+            matched.result.avg_utilization / float(np.mean(baseline_utils)) - 1.0
+        ) * 100.0
+    return {"rows": rows, "improvement_pct": improvements}

@@ -1,0 +1,49 @@
+"""Figure 14: statistical efficiency — epochs to the quality target.
+
+The paper's claims: AvgPipe matches PyTorch's epochs across all three
+workloads; PipeDream's multi-version staleness costs it statistical
+efficiency, visibly on AWD.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.statistical import statistical_results
+
+__all__ = ["run_fig14", "Fig14Row"]
+
+DISPLAY = {
+    "pytorch": "PyTorch (sync)",
+    "gpipe": "GPipe (sync)",
+    "dapple": "Dapple (sync)",
+    "pipedream": "PipeDream",
+    "pipedream-2bw": "PipeDream-2BW",
+    "avgpipe": "AvgPipe",
+    "sync-2x-batch": "Sync, 2x batch (Fig. 5a strawman)",
+}
+
+
+@dataclass
+class Fig14Row:
+    """One (workload, system) cell of Figure 14."""
+    workload: str
+    system: str
+    epochs_to_target: int
+    reached: bool
+    final_metric: float
+
+
+def run_fig14(workloads: tuple[str, ...] = ("gnmt", "bert", "awd")) -> dict:
+    """Regenerate Figure 14 from the shared statistical runs."""
+    rows: list[Fig14Row] = []
+    for wl in workloads:
+        stats = statistical_results(wl)
+        for name in ("pytorch", "gpipe", "dapple", "pipedream", "pipedream-2bw",
+                     "avgpipe", "sync-2x-batch"):
+            result = stats[name]
+            rows.append(
+                Fig14Row(wl, DISPLAY[name], result.epochs_to_target, result.reached_target,
+                         result.final_metric)
+            )
+    return {"rows": rows}

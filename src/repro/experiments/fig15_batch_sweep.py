@@ -1,0 +1,55 @@
+"""Figure 15: GNMT epoch time vs batch size (64..256).
+
+The paper's observation: GPipe's epoch time stays flat as the batch
+grows (bubbles scale with it), while AvgPipe exploits the larger batch by
+slicing more micro-batches, widening its advantage from 1.3x to 2.6x.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.baselines import BASELINE_SYSTEMS, choose_baseline_micro, simulate_baseline
+from repro.core import AvgPipe
+from repro.core.simcfg import calibration_for
+
+__all__ = ["run_fig15", "Fig15Row"]
+
+EPOCH_SAMPLES = 1382  # GNMT train-split size at the default data config
+
+
+@dataclass
+class Fig15Row:
+    """One batch-size point of the Figure-15 sweep."""
+    batch_size: int
+    gpipe_epoch_time: float
+    avgpipe_epoch_time: float
+    speedup: float
+    avgpipe_m: int
+    avgpipe_n: int
+
+
+def run_fig15(batch_sizes: tuple[int, ...] = (64, 128, 192, 256)) -> dict:
+    """Regenerate Figure 15's GNMT batch-size sweep."""
+    base_cal = calibration_for("gnmt")
+    rows: list[Fig15Row] = []
+    for batch in batch_sizes:
+        # The paper's 32 GB devices are nowhere near full in this sweep;
+        # our calibrated capacity was pinned against batch 128, so scale
+        # it with the batch to keep memory non-binding here as well —
+        # Figure 15 is about epoch-time shape, not memory limits.
+        capacity = int(base_cal.memory_capacity_bytes * max(1.0, batch / 128))
+        cal = replace(base_cal, batch_size=batch, memory_capacity_bytes=capacity)
+        batches_per_epoch = max(EPOCH_SAMPLES // batch, 1)
+        gpipe = BASELINE_SYSTEMS["gpipe"]
+        m = choose_baseline_micro(gpipe, cal)
+        gp = simulate_baseline(gpipe, cal, num_micro=m, iterations=2)
+        system = AvgPipe("gnmt", calibration=cal)
+        plan = system.plan(memory_limit_bytes=float(max(gp.peak_memory)), n_candidates=[1, 2, 3])
+        ours = system.simulate(plan, iterations=2)
+        gp_epoch = gp.time_per_batch * batches_per_epoch
+        ap_epoch = ours.time_per_batch * batches_per_epoch
+        rows.append(
+            Fig15Row(batch, gp_epoch, ap_epoch, gp_epoch / ap_epoch, plan.num_micro, plan.num_pipelines)
+        )
+    return {"rows": rows}

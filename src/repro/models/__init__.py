@@ -1,0 +1,31 @@
+"""Model zoo: the paper's three workloads as pipeline-sliceable layer lists.
+
+Every model is a :class:`~repro.models.pipeline_model.PipelineModel` — an
+ordered list of :class:`PipelineLayer` stages that pass an *activation
+bundle* (dict of tensors) forward.  The uniform bundle interface is what
+lets one runtime execute any contiguous slice of any model as a pipeline
+stage, and what the partitioner's cost model introspects.
+"""
+
+from repro.models.pipeline_model import ActivationBundle, PipelineLayer, PipelineModel
+from repro.models.gnmt import GNMTConfig, build_gnmt
+from repro.models.bert import BertConfig, build_bert
+from repro.models.awd_lstm import AWDConfig, build_awd_lstm
+from repro.models.inference import greedy_decode
+from repro.models.registry import WORKLOADS, WorkloadSpec, build_workload
+
+__all__ = [
+    "ActivationBundle",
+    "PipelineLayer",
+    "PipelineModel",
+    "GNMTConfig",
+    "build_gnmt",
+    "BertConfig",
+    "build_bert",
+    "AWDConfig",
+    "build_awd_lstm",
+    "WORKLOADS",
+    "WorkloadSpec",
+    "build_workload",
+    "greedy_decode",
+]

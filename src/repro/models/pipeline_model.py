@@ -1,0 +1,165 @@
+"""Pipeline-model abstraction.
+
+A :class:`PipelineModel` is an ordered list of :class:`PipelineLayer`
+modules.  Data flows as an *activation bundle* — a dict mapping names to
+tensors (or raw integer ndarrays for token inputs).  Each layer consumes
+some keys and produces others; a contiguous slice of layers is a valid
+pipeline stage whose inter-stage traffic is exactly the bundle contents at
+the cut point.  That makes three things uniform across GNMT / BERT /
+AWD-LSTM:
+
+* the runtime executes ``stage(bundle) -> bundle`` without model-specific
+  code,
+* the partitioner reads ``flops_per_sample`` / ``activation_floats_per_sample``
+  per layer to balance stages and price inter-stage communication,
+* the simulator prices a stage's compute from the same cost hints.
+
+The last layer must be a loss head producing a scalar ``"loss"`` entry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Mapping, Sequence
+
+import numpy as np
+
+from repro.nn.module import Module
+from repro.tensor import Tensor
+
+__all__ = ["ActivationBundle", "PipelineLayer", "PipelineModel"]
+
+ActivationBundle = dict  # dict[str, Tensor | np.ndarray]
+
+
+class PipelineLayer(Module):
+    """A model slice with cost annotations.
+
+    Subclasses implement ``forward(bundle) -> bundle`` and the two cost
+    hooks.  ``carried_keys`` names bundle entries this layer merely passes
+    through (they count toward inter-stage communication if a cut follows).
+    """
+
+    def forward(self, bundle: ActivationBundle) -> ActivationBundle:  # pragma: no cover
+        raise NotImplementedError
+
+    def flops_per_sample(self) -> float:
+        """Approximate multiply-accumulate count per batch sample."""
+        raise NotImplementedError
+
+    def activation_floats_per_sample(self) -> float:
+        """Floats per sample in the bundle *after* this layer (the traffic
+        a pipeline cut here would ship, and the stash cost of one
+        micro-batch sample)."""
+        raise NotImplementedError
+
+
+@dataclass
+class PipelineModel:
+    """An ordered pipeline of layers plus workload metadata.
+
+    Attributes
+    ----------
+    layers:
+        The :class:`PipelineLayer` sequence; ``layers[-1]`` is the loss head.
+    name:
+        Workload name ("gnmt" / "bert" / "awd").
+    metric_mode:
+        "max" if higher metric is better (BLEU, accuracy), "min" for loss.
+    """
+
+    layers: list[PipelineLayer]
+    name: str = "model"
+    metric_mode: str = "max"
+
+    def __post_init__(self) -> None:
+        if not self.layers:
+            raise ValueError("PipelineModel needs at least one layer")
+        if self.metric_mode not in ("max", "min"):
+            raise ValueError(f"metric_mode must be 'max' or 'min', got {self.metric_mode}")
+
+    # ------------------------------------------------------------------ #
+    # whole-model execution (used by data-parallel baselines and eval)
+
+    def forward(self, batch: Mapping[str, np.ndarray]) -> ActivationBundle:
+        bundle: ActivationBundle = dict(batch)
+        for layer in self.layers:
+            bundle = layer(bundle)
+        return bundle
+
+    def loss(self, batch: Mapping[str, np.ndarray]) -> Tensor:
+        bundle = self.forward(batch)
+        if "loss" not in bundle:
+            raise KeyError("final layer did not produce a 'loss' entry")
+        return bundle["loss"]
+
+    # ------------------------------------------------------------------ #
+    # module-ish plumbing
+
+    def named_parameters(self):
+        for i, layer in enumerate(self.layers):
+            for name, p in layer.named_parameters():
+                yield f"layer{i}.{name}", p
+
+    def parameters(self):
+        for _, p in self.named_parameters():
+            yield p
+
+    def num_parameters(self) -> int:
+        return sum(p.size for p in self.parameters())
+
+    def parameter_bytes(self) -> int:
+        return sum(p.data.nbytes for p in self.parameters())
+
+    def zero_grad(self) -> None:
+        for layer in self.layers:
+            layer.zero_grad()
+
+    def train(self, mode: bool = True) -> "PipelineModel":
+        for layer in self.layers:
+            layer.train(mode)
+        return self
+
+    def eval(self) -> "PipelineModel":
+        return self.train(False)
+
+    def seed(self, seed: int) -> "PipelineModel":
+        for i, layer in enumerate(self.layers):
+            layer.seed(seed * 1000003 + i)
+        return self
+
+    def state_dict(self) -> dict[str, np.ndarray]:
+        return {name: p.data.copy() for name, p in self.named_parameters()}
+
+    def load_state_dict(self, state: Mapping[str, np.ndarray]) -> None:
+        params = dict(self.named_parameters())
+        missing = set(params) - set(state)
+        unexpected = set(state) - set(params)
+        if missing or unexpected:
+            raise KeyError(f"state mismatch: missing={sorted(missing)[:3]} unexpected={sorted(unexpected)[:3]}")
+        for name, value in state.items():
+            param = params[name]
+            if value.shape != param.shape:
+                raise ValueError(f"{name}: shape {value.shape} != {param.shape}")
+            param.data = np.array(value, dtype=param.dtype, copy=True)
+
+    # ------------------------------------------------------------------ #
+    # cost introspection
+
+    def layer_flops(self) -> list[float]:
+        return [layer.flops_per_sample() for layer in self.layers]
+
+    def layer_activation_floats(self) -> list[float]:
+        return [layer.activation_floats_per_sample() for layer in self.layers]
+
+    def layer_param_bytes(self) -> list[int]:
+        return [layer.parameter_bytes() for layer in self.layers]
+
+    def __len__(self) -> int:
+        return len(self.layers)
+
+    def slice_layers(self, start: int, stop: int) -> list[PipelineLayer]:
+        """The layers of stage [start, stop) — validated contiguous cut."""
+        if not 0 <= start < stop <= len(self.layers):
+            raise IndexError(f"invalid stage slice [{start}, {stop}) of {len(self.layers)} layers")
+        return self.layers[start:stop]

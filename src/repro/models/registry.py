@@ -1,0 +1,221 @@
+"""Workload registry: binds each paper workload to its model, data,
+optimizer recipe, quality metric and target.
+
+The three entries mirror §7's setups (scaled to CPU):
+
+* ``gnmt`` — Adam, BLEU-like target (paper: Adam @3e-4, batch 128,
+  BLEU 21.8, 6 GPUs).
+* ``bert`` — Adam, top-1 accuracy target (paper: Adam @2e-5, batch 32,
+  >67% in 3 epochs, 6 GPUs).
+* ``awd``  — SGD/ASGD, validation-loss target (paper: lr 30, batch 40,
+  loss 6.5, 4 GPUs).
+
+Targets here are calibrated against the synthetic tasks so that a
+well-behaved run reaches them in a handful of epochs; what the
+experiments compare is *relative* epochs-to-target across systems.
+"""
+
+from __future__ import annotations
+
+import functools
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.data import (
+    LMConfig,
+    ParaphraseConfig,
+    TranslationConfig,
+    batchify_lm,
+    bleu_like,
+    make_lm_corpus,
+    make_paraphrase_dataset,
+    make_translation_dataset,
+)
+from repro.data.dataset import ArrayDataset, DataLoader
+from repro.data.vocab import EOS, PAD
+from repro.models.awd_lstm import AWDConfig, build_awd_lstm
+from repro.models.bert import BertConfig, build_bert
+from repro.models.gnmt import GNMTConfig, build_gnmt
+from repro.models.pipeline_model import PipelineModel
+from repro.optim import SGD, Adam, Optimizer
+from repro.tensor import no_grad
+
+__all__ = ["WorkloadSpec", "WORKLOADS", "build_workload"]
+
+
+@dataclass
+class WorkloadSpec:
+    """Everything a trainer needs to run one paper workload."""
+
+    name: str
+    build_model: Callable[[], PipelineModel]
+    make_train_loader: Callable[[int, int], "list[dict[str, np.ndarray]] | DataLoader"]
+    evaluate: Callable[[PipelineModel], float]
+    make_optimizer: Callable[[PipelineModel], Optimizer]
+    target: float
+    metric_mode: str  # "max" (BLEU, accuracy) or "min" (loss)
+    metric_name: str
+    batch_size: int
+    paper_devices: int
+
+    def target_reached(self, metric: float) -> bool:
+        return metric >= self.target if self.metric_mode == "max" else metric <= self.target
+
+
+# --------------------------------------------------------------------- #
+# GNMT
+
+_GNMT_CFG = GNMTConfig(vocab_size=32)
+_GNMT_DATA_CFG = TranslationConfig(num_pairs=1536, vocab_size=_GNMT_CFG.vocab_size - 4, seq_len=_GNMT_CFG.src_len - 2)
+
+
+@functools.lru_cache(maxsize=1)
+def _gnmt_data() -> tuple[ArrayDataset, ArrayDataset]:
+    train, valid, _ = make_translation_dataset(_GNMT_DATA_CFG)
+    return train, valid
+
+
+def _gnmt_loader(batch_size: int, seed: int) -> DataLoader:
+    train, _ = _gnmt_data()
+    return DataLoader(train, batch_size=batch_size, shuffle=True, seed=seed)
+
+
+def _gnmt_eval(model: PipelineModel) -> float:
+    """Teacher-forced BLEU-like score on the validation split."""
+    _, valid = _gnmt_data()
+    model.eval()
+    hyps: list[list[int]] = []
+    refs: list[list[int]] = []
+    with no_grad():
+        for start in range(0, len(valid), 64):
+            idx = np.arange(start, min(start + 64, len(valid)))
+            batch = {k: v[idx] for k, v in valid.arrays.items()}
+            bundle = dict(batch)
+            for layer in model.layers[:-1]:  # skip loss head
+                bundle = layer(bundle)
+            pred = bundle["logits"].argmax(axis=-1)  # (B, T)
+            for row_pred, row_ref in zip(pred, batch["tgt_out"]):
+                cut = np.where(row_ref == EOS)[0]
+                limit = int(cut[0]) if len(cut) else len(row_ref)
+                hyps.append([int(t) for t in row_pred[:limit]])
+                refs.append([int(t) for t in row_ref[:limit]])
+    model.train()
+    return bleu_like(hyps, refs)
+
+
+# --------------------------------------------------------------------- #
+# BERT
+
+_BERT_CFG = BertConfig()
+_BERT_DATA_CFG = ParaphraseConfig(num_pairs=1536, vocab_size=_BERT_CFG.vocab_size - 5, seq_len=(_BERT_CFG.seq_len - 3) // 2)
+
+
+@functools.lru_cache(maxsize=1)
+def _bert_data() -> tuple[ArrayDataset, ArrayDataset]:
+    train, valid, _ = make_paraphrase_dataset(_BERT_DATA_CFG)
+    return train, valid
+
+
+def _bert_loader(batch_size: int, seed: int) -> DataLoader:
+    train, _ = _bert_data()
+    return DataLoader(train, batch_size=batch_size, shuffle=True, seed=seed)
+
+
+def _bert_eval(model: PipelineModel) -> float:
+    """Top-1 accuracy (percent) on the validation split."""
+    _, valid = _bert_data()
+    model.eval()
+    correct = total = 0
+    with no_grad():
+        for start in range(0, len(valid), 64):
+            idx = np.arange(start, min(start + 64, len(valid)))
+            batch = {k: v[idx] for k, v in valid.arrays.items()}
+            bundle = model.forward(batch)
+            pred = bundle["logits"].argmax(axis=-1)
+            correct += int((pred == batch["labels"]).sum())
+            total += len(idx)
+    model.train()
+    return 100.0 * correct / total
+
+
+# --------------------------------------------------------------------- #
+# AWD
+
+_AWD_CFG = AWDConfig()
+_AWD_DATA_CFG = LMConfig(corpus_len=16000, vocab_size=_AWD_CFG.vocab_size)
+
+
+@functools.lru_cache(maxsize=1)
+def _awd_corpus() -> tuple[np.ndarray, np.ndarray, float]:
+    return make_lm_corpus(_AWD_DATA_CFG)
+
+
+def _awd_loader(batch_size: int, seed: int) -> list[dict[str, np.ndarray]]:
+    train, _, _ = _awd_corpus()
+    del seed  # BPTT batches are sequential; no shuffling in the AWD recipe
+    return batchify_lm(train, batch_size=batch_size, bptt=_AWD_CFG.bptt)
+
+
+def _awd_eval(model: PipelineModel) -> float:
+    """Validation cross-entropy (nats/token)."""
+    _, valid, _ = _awd_corpus()
+    batches = batchify_lm(valid, batch_size=8, bptt=_AWD_CFG.bptt)
+    model.eval()
+    total_loss = 0.0
+    with no_grad():
+        for batch in batches:
+            total_loss += float(model.loss(batch).item())
+    model.train()
+    return total_loss / max(len(batches), 1)
+
+
+# --------------------------------------------------------------------- #
+
+WORKLOADS: dict[str, WorkloadSpec] = {
+    "gnmt": WorkloadSpec(
+        name="gnmt",
+        build_model=lambda: build_gnmt(_GNMT_CFG),
+        make_train_loader=_gnmt_loader,
+        evaluate=_gnmt_eval,
+        make_optimizer=lambda m: Adam(m.parameters(), lr=3e-3),
+        target=21.8,  # the paper's own GNMT BLEU target
+        metric_mode="max",
+        metric_name="BLEU-like",
+        batch_size=128,
+        paper_devices=6,
+    ),
+    "bert": WorkloadSpec(
+        name="bert",
+        build_model=lambda: build_bert(_BERT_CFG),
+        make_train_loader=_bert_loader,
+        evaluate=_bert_eval,
+        make_optimizer=lambda m: Adam(m.parameters(), lr=1e-3),
+        target=67.0,
+        metric_mode="max",
+        metric_name="top-1 acc %",
+        batch_size=32,
+        paper_devices=6,
+    ),
+    "awd": WorkloadSpec(
+        name="awd",
+        build_model=lambda: build_awd_lstm(_AWD_CFG),
+        make_train_loader=_awd_loader,
+        evaluate=_awd_eval,
+        make_optimizer=lambda m: SGD(m.parameters(), lr=1.0),
+        target=2.0,
+        metric_mode="min",
+        metric_name="val loss (nats)",
+        batch_size=40,
+        paper_devices=4,
+    ),
+}
+
+
+def build_workload(name: str) -> WorkloadSpec:
+    """Look up a workload spec by name ('gnmt', 'bert', 'awd')."""
+    try:
+        return WORKLOADS[name]
+    except KeyError:
+        raise KeyError(f"unknown workload {name!r}; available: {sorted(WORKLOADS)}") from None

@@ -1,0 +1,26 @@
+"""Activation layers (module wrappers around the functional forms)."""
+
+from __future__ import annotations
+
+from repro.nn.module import Module
+from repro.tensor import Tensor, gelu, relu, tanh
+
+__all__ = ["ReLU", "GELU", "Tanh"]
+
+
+class ReLU(Module):
+    """Module wrapper around :func:`repro.tensor.relu`."""
+    def forward(self, x: Tensor) -> Tensor:
+        return relu(x)
+
+
+class GELU(Module):
+    """Module wrapper around :func:`repro.tensor.gelu`."""
+    def forward(self, x: Tensor) -> Tensor:
+        return gelu(x)
+
+
+class Tanh(Module):
+    """Module wrapper around :func:`repro.tensor.tanh`."""
+    def forward(self, x: Tensor) -> Tensor:
+        return tanh(x)

@@ -1,0 +1,71 @@
+"""Scaled-dot-product multi-head attention (BERT / GNMT-decoder kernel)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.linear import Linear
+from repro.nn.module import Module
+from repro.tensor import Tensor, dropout, softmax
+
+__all__ = ["MultiHeadAttention"]
+
+
+class MultiHeadAttention(Module):
+    """Multi-head attention over (B, T, D) inputs.
+
+    ``forward(query, key, value, mask)`` with an optional additive mask of
+    shape broadcastable to (B, heads, Tq, Tk); masked positions should be
+    a large negative number (we use -1e9 internally for boolean masks).
+    """
+
+    def __init__(self, d_model: int, num_heads: int, attn_dropout: float = 0.0) -> None:
+        super().__init__()
+        if d_model % num_heads != 0:
+            raise ValueError(f"d_model={d_model} not divisible by num_heads={num_heads}")
+        self.d_model = d_model
+        self.num_heads = num_heads
+        self.d_head = d_model // num_heads
+        self.attn_dropout = attn_dropout
+        self.q_proj = Linear(d_model, d_model)
+        self.k_proj = Linear(d_model, d_model)
+        self.v_proj = Linear(d_model, d_model)
+        self.out_proj = Linear(d_model, d_model)
+
+    def _split_heads(self, x: Tensor) -> Tensor:
+        b, t, _ = x.shape
+        return x.reshape(b, t, self.num_heads, self.d_head).transpose(0, 2, 1, 3)
+
+    def forward(
+        self,
+        query: Tensor,
+        key: Tensor | None = None,
+        value: Tensor | None = None,
+        mask: np.ndarray | None = None,
+    ) -> Tensor:
+        key = query if key is None else key
+        value = key if value is None else value
+        if query.ndim != 3:
+            raise ValueError(f"attention expects (B, T, D), got {query.shape}")
+        b, tq, _ = query.shape
+
+        q = self._split_heads(self.q_proj(query))  # (B, H, Tq, dh)
+        k = self._split_heads(self.k_proj(key))
+        v = self._split_heads(self.v_proj(value))
+
+        scores = (q @ k.transpose(0, 1, 3, 2)) * (1.0 / np.sqrt(self.d_head))
+        if mask is not None:
+            mask = np.asarray(mask)
+            if mask.dtype == bool:
+                bias = np.where(mask, 0.0, -1e9).astype(scores.dtype)
+            else:
+                bias = mask.astype(scores.dtype)
+            scores = scores + Tensor(bias)
+        attn = softmax(scores, axis=-1)
+        attn = dropout(attn, self.attn_dropout, self._rng, training=self.training)
+        ctx = attn @ v  # (B, H, Tq, dh)
+        ctx = ctx.transpose(0, 2, 1, 3).reshape(b, tq, self.d_model)
+        return self.out_proj(ctx)
+
+    def __repr__(self) -> str:
+        return f"MultiHeadAttention(d_model={self.d_model}, heads={self.num_heads})"

@@ -1,0 +1,71 @@
+"""Module containers.
+
+``Sequential`` is the canonical pipeline-parallel model form: the
+partitioner (:mod:`repro.graph.partitioner`) cuts its ordered children
+into contiguous stages, and the pipeline runtimes execute slices of it.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.nn.module import Module
+
+__all__ = ["Sequential", "ModuleList"]
+
+
+class Sequential(Module):
+    """Applies child modules in registration order."""
+
+    def __init__(self, *layers: Module) -> None:
+        super().__init__()
+        for i, layer in enumerate(layers):
+            if not isinstance(layer, Module):
+                raise TypeError(f"Sequential child {i} is not a Module: {layer!r}")
+            self.register_module(str(i), layer)
+
+    def __iter__(self) -> Iterator[Module]:
+        return iter(self._modules.values())
+
+    def __len__(self) -> int:
+        return len(self._modules)
+
+    def __getitem__(self, index):
+        layers = list(self._modules.values())
+        if isinstance(index, slice):
+            return Sequential(*layers[index])
+        return layers[index]
+
+    def append(self, layer: Module) -> "Sequential":
+        self.register_module(str(len(self._modules)), layer)
+        return self
+
+    def forward(self, x):
+        for layer in self._modules.values():
+            x = layer(x)
+        return x
+
+
+class ModuleList(Module):
+    """A registered list of modules without a forward of its own."""
+
+    def __init__(self, modules: Iterable[Module] = ()) -> None:
+        super().__init__()
+        for i, module in enumerate(modules):
+            self.register_module(str(i), module)
+
+    def __iter__(self) -> Iterator[Module]:
+        return iter(self._modules.values())
+
+    def __len__(self) -> int:
+        return len(self._modules)
+
+    def __getitem__(self, index: int) -> Module:
+        return list(self._modules.values())[index]
+
+    def append(self, module: Module) -> "ModuleList":
+        self.register_module(str(len(self._modules)), module)
+        return self
+
+    def forward(self, *args, **kwargs):
+        raise RuntimeError("ModuleList has no forward(); iterate over it instead")

@@ -1,0 +1,67 @@
+"""Dropout variants, including the DropConnect used by AWD-LSTM."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.module import Module
+from repro.tensor import Tensor, dropout
+
+__all__ = ["Dropout", "WeightDrop"]
+
+
+class Dropout(Module):
+    """Standard inverted dropout; a no-op in eval mode."""
+
+    def __init__(self, p: float = 0.5) -> None:
+        super().__init__()
+        if not 0.0 <= p < 1.0:
+            raise ValueError(f"dropout p must be in [0, 1), got {p}")
+        self.p = p
+
+    def forward(self, x: Tensor) -> Tensor:
+        return dropout(x, self.p, self._rng, training=self.training)
+
+    def __repr__(self) -> str:
+        return f"Dropout(p={self.p})"
+
+
+class WeightDrop(Module):
+    """DropConnect on the recurrent weights of a wrapped module.
+
+    This is the "weight-dropped" part of AWD-LSTM [Merity et al. 2018]:
+    before each forward in training mode, the named weight matrices are
+    replaced by masked copies.  The mask is resampled per call.
+    """
+
+    def __init__(self, inner: Module, weight_names: list[str], p: float = 0.5) -> None:
+        super().__init__()
+        if not 0.0 <= p < 1.0:
+            raise ValueError(f"weight-drop p must be in [0, 1), got {p}")
+        self.inner = inner
+        self.weight_names = list(weight_names)
+        self.p = p
+        params = dict(inner.named_parameters())
+        for name in self.weight_names:
+            if name not in params:
+                raise KeyError(f"WeightDrop: {name!r} not found in inner module parameters")
+
+    def forward(self, *args, **kwargs):
+        if self.training and self.p > 0.0:
+            params = dict(self.inner.named_parameters())
+            originals: dict[str, np.ndarray] = {}
+            keep = 1.0 - self.p
+            for name in self.weight_names:
+                param = params[name]
+                originals[name] = param.data
+                mask = (self._rng.random(param.shape) < keep).astype(param.dtype) / keep
+                param.data = param.data * mask
+            try:
+                return self.inner(*args, **kwargs)
+            finally:
+                for name, data in originals.items():
+                    params[name].data = data
+        return self.inner(*args, **kwargs)
+
+    def __repr__(self) -> str:
+        return f"WeightDrop(p={self.p}, weights={self.weight_names})"

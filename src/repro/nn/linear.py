@@ -1,0 +1,36 @@
+"""Fully-connected layer."""
+
+from __future__ import annotations
+
+from repro.nn import init
+from repro.nn.module import Module, Parameter
+from repro.tensor import Tensor
+
+__all__ = ["Linear"]
+
+
+class Linear(Module):
+    """``y = x @ W^T + b`` over the last input dimension."""
+
+    def __init__(self, in_features: int, out_features: int, bias: bool = True) -> None:
+        super().__init__()
+        if in_features <= 0 or out_features <= 0:
+            raise ValueError("Linear features must be positive")
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(init.kaiming_uniform((out_features, in_features), self._rng))
+        if bias:
+            self.bias = Parameter(init.uniform((out_features,), self._rng, 1.0 / in_features**0.5))
+        else:
+            self.bias = None
+
+    def forward(self, x: Tensor) -> Tensor:
+        if x.shape[-1] != self.in_features:
+            raise ValueError(f"Linear expected last dim {self.in_features}, got {x.shape}")
+        out = x @ self.weight.T
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+    def __repr__(self) -> str:
+        return f"Linear(in={self.in_features}, out={self.out_features}, bias={self.bias is not None})"

@@ -1,0 +1,35 @@
+"""Loss modules."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.module import Module
+from repro.tensor import Tensor, cross_entropy
+
+__all__ = ["CrossEntropyLoss", "MSELoss"]
+
+
+class CrossEntropyLoss(Module):
+    """Mean token-level cross entropy over (..., C) logits.
+
+    ``ignore_index`` masks padding targets out of both the loss and the
+    denominator, matching the GNMT/AWD training setups.
+    """
+
+    def __init__(self, ignore_index: int | None = None) -> None:
+        super().__init__()
+        self.ignore_index = ignore_index
+
+    def forward(self, logits: Tensor, targets) -> Tensor:
+        tgt = targets.data if isinstance(targets, Tensor) else np.asarray(targets)
+        return cross_entropy(logits, tgt.reshape(-1), ignore_index=self.ignore_index)
+
+
+class MSELoss(Module):
+    """Mean squared error."""
+
+    def forward(self, prediction: Tensor, target) -> Tensor:
+        tgt = target if isinstance(target, Tensor) else Tensor(np.asarray(target, dtype=prediction.dtype))
+        diff = prediction - tgt
+        return (diff * diff).mean()

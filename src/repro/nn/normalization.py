@@ -1,0 +1,31 @@
+"""Layer normalization."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.module import Module, Parameter
+from repro.tensor import Tensor, layer_norm
+
+__all__ = ["LayerNorm"]
+
+
+class LayerNorm(Module):
+    """Normalizes over the last dimension with learned affine parameters."""
+
+    def __init__(self, normalized_shape: int, eps: float = 1e-5) -> None:
+        super().__init__()
+        if normalized_shape <= 0:
+            raise ValueError("normalized_shape must be positive")
+        self.normalized_shape = normalized_shape
+        self.eps = eps
+        self.weight = Parameter(np.ones(normalized_shape, dtype=np.float32))
+        self.bias = Parameter(np.zeros(normalized_shape, dtype=np.float32))
+
+    def forward(self, x: Tensor) -> Tensor:
+        if x.shape[-1] != self.normalized_shape:
+            raise ValueError(f"LayerNorm expected last dim {self.normalized_shape}, got {x.shape}")
+        return layer_norm(x, self.weight, self.bias, eps=self.eps)
+
+    def __repr__(self) -> str:
+        return f"LayerNorm({self.normalized_shape}, eps={self.eps})"

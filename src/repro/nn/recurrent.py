@@ -1,0 +1,82 @@
+"""LSTM layers (the GNMT and AWD-LSTM building block).
+
+The cell computes the four gates in one fused matmul per input/hidden pair
+— ``gates = x @ W_ih^T + h @ W_hh^T + b`` — which keeps arithmetic
+intensity high per the HPC guides (one big GEMM instead of four small
+ones).  The sequence loop is unavoidable; everything inside it is
+vectorized over the batch.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import init
+from repro.nn.module import Module, Parameter
+from repro.tensor import Tensor, sigmoid, stack, tanh, zeros
+
+__all__ = ["LSTMCell", "LSTM"]
+
+
+class LSTMCell(Module):
+    """Single-step LSTM with fused gate projection."""
+
+    def __init__(self, input_size: int, hidden_size: int) -> None:
+        super().__init__()
+        if input_size <= 0 or hidden_size <= 0:
+            raise ValueError("LSTMCell sizes must be positive")
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+        bound = 1.0 / np.sqrt(hidden_size)
+        self.weight_ih = Parameter(init.uniform((4 * hidden_size, input_size), self._rng, bound))
+        self.weight_hh = Parameter(init.uniform((4 * hidden_size, hidden_size), self._rng, bound))
+        self.bias = Parameter(init.uniform((4 * hidden_size,), self._rng, bound))
+
+    def forward(self, x: Tensor, state: tuple[Tensor, Tensor]) -> tuple[Tensor, Tensor]:
+        h, c = state
+        if x.shape[-1] != self.input_size:
+            raise ValueError(f"LSTMCell expected input dim {self.input_size}, got {x.shape}")
+        gates = x @ self.weight_ih.T + h @ self.weight_hh.T + self.bias
+        hs = self.hidden_size
+        i = sigmoid(gates[:, 0 * hs : 1 * hs])
+        f = sigmoid(gates[:, 1 * hs : 2 * hs])
+        g = tanh(gates[:, 2 * hs : 3 * hs])
+        o = sigmoid(gates[:, 3 * hs : 4 * hs])
+        c_next = f * c + i * g
+        h_next = o * tanh(c_next)
+        return h_next, c_next
+
+    def init_state(self, batch_size: int) -> tuple[Tensor, Tensor]:
+        return (zeros(batch_size, self.hidden_size), zeros(batch_size, self.hidden_size))
+
+    def __repr__(self) -> str:
+        return f"LSTMCell(in={self.input_size}, hidden={self.hidden_size})"
+
+
+class LSTM(Module):
+    """Unidirectional single-layer LSTM over (T, B, D) sequences."""
+
+    def __init__(self, input_size: int, hidden_size: int) -> None:
+        super().__init__()
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+        self.cell = LSTMCell(input_size, hidden_size)
+
+    def forward(
+        self, x: Tensor, state: tuple[Tensor, Tensor] | None = None
+    ) -> tuple[Tensor, tuple[Tensor, Tensor]]:
+        """Returns (outputs stacked over time, final (h, c))."""
+        if x.ndim != 3:
+            raise ValueError(f"LSTM expects (T, B, D) input, got shape {x.shape}")
+        seq_len, batch, _ = x.shape
+        if state is None:
+            state = self.cell.init_state(batch)
+        h, c = state
+        outputs: list[Tensor] = []
+        for t in range(seq_len):
+            h, c = self.cell(x[t], (h, c))
+            outputs.append(h)
+        return stack(outputs, axis=0), (h, c)
+
+    def __repr__(self) -> str:
+        return f"LSTM(in={self.input_size}, hidden={self.hidden_size})"

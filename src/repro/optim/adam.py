@@ -1,0 +1,53 @@
+"""Adam [Kingma & Ba 2015] — the optimizer the paper trains GNMT/BERT with."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.optim.optimizer import Optimizer
+
+__all__ = ["Adam"]
+
+
+class Adam(Optimizer):
+    """Adam with bias-corrected first/second moments."""
+    def __init__(
+        self,
+        params,
+        lr: float = 1e-3,
+        betas: tuple[float, float] = (0.9, 0.999),
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ) -> None:
+        super().__init__(params, lr)
+        b1, b2 = betas
+        if not (0.0 <= b1 < 1.0 and 0.0 <= b2 < 1.0):
+            raise ValueError(f"betas must be in [0, 1), got {betas}")
+        self.betas = (b1, b2)
+        self.eps = eps
+        self.weight_decay = weight_decay
+
+    def step(self) -> None:
+        b1, b2 = self.betas
+        for p in self.params:
+            if p.grad is None:
+                continue
+            grad = p.grad.astype(np.float32)
+            if self.weight_decay:
+                grad = grad + self.weight_decay * p.data
+            st = self._get_state(p)
+            if "m" not in st:
+                st["m"] = np.zeros_like(p.data, dtype=np.float32)
+                st["v"] = np.zeros_like(p.data, dtype=np.float32)
+                st["t"] = 0
+            st["t"] = int(st["t"]) + 1
+            t = st["t"]
+            m: np.ndarray = st["m"]  # type: ignore[assignment]
+            v: np.ndarray = st["v"]  # type: ignore[assignment]
+            m *= b1
+            m += (1 - b1) * grad
+            v *= b2
+            v += (1 - b2) * grad * grad
+            m_hat = m / (1 - b1**t)
+            v_hat = v / (1 - b2**t)
+            p.data = p.data - self.lr * m_hat / (np.sqrt(v_hat) + self.eps)

@@ -1,0 +1,70 @@
+"""Averaged SGD [Polyak & Juditsky 1992] — used by the AWD-LSTM workload.
+
+Maintains a running tail average of the iterates from step ``t0`` onward;
+``swap_averaged()`` / ``swap_back()`` exchange live weights with the
+Polyak average for evaluation, mirroring how the AWD-LSTM recipe validates
+on the averaged weights.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.optim.optimizer import Optimizer
+
+__all__ = ["ASGD"]
+
+
+class ASGD(Optimizer):
+    """SGD with a Polyak tail average, swappable in for evaluation."""
+    def __init__(self, params, lr: float, t0: int = 0, weight_decay: float = 0.0) -> None:
+        super().__init__(params, lr)
+        if t0 < 0:
+            raise ValueError(f"t0 must be non-negative, got {t0}")
+        self.t0 = t0
+        self.weight_decay = weight_decay
+        self._step_count = 0
+        self._swapped = False
+
+    def step(self) -> None:
+        if self._swapped:
+            raise RuntimeError("step() while averaged weights are swapped in")
+        self._step_count += 1
+        for p in self.params:
+            if p.grad is None:
+                continue
+            grad = p.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * p.data
+            p.data = p.data - self.lr * grad
+            st = self._get_state(p)
+            if self._step_count >= self.t0:
+                if "ax" not in st:
+                    st["ax"] = p.data.copy()
+                    st["ax_count"] = 1
+                else:
+                    st["ax_count"] = int(st["ax_count"]) + 1
+                    ax: np.ndarray = st["ax"]  # type: ignore[assignment]
+                    ax += (p.data - ax) / st["ax_count"]
+
+    def swap_averaged(self) -> None:
+        """Swap the Polyak averages into the live parameters (for eval)."""
+        if self._swapped:
+            raise RuntimeError("averaged weights already swapped in")
+        for p in self.params:
+            st = self._get_state(p)
+            if "ax" in st:
+                live = p.data.copy()
+                p.data = st["ax"].copy()  # type: ignore[union-attr]
+                st["_live"] = live
+        self._swapped = True
+
+    def swap_back(self) -> None:
+        """Restore live weights after :meth:`swap_averaged`."""
+        if not self._swapped:
+            raise RuntimeError("swap_back() without a prior swap_averaged()")
+        for p in self.params:
+            st = self._get_state(p)
+            if "_live" in st:
+                p.data = st.pop("_live")  # type: ignore[assignment]
+        self._swapped = False

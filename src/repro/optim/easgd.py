@@ -1,0 +1,81 @@
+"""Classic elastic-averaging SGD [Zhang, Choromanska & LeCun 2015].
+
+This is the *coupled* optimizer the paper contrasts with its framework
+(§3.1): the elastic term is baked into the SGD update, so it cannot be
+combined with Adam/Adagrad/ASGD.  We keep it as a related-work baseline —
+tests show AvgPipe's decoupled framework matches EASGD when the local
+optimizer is plain SGD, while also working with Adam where EASGD cannot.
+
+Update rule (synchronous EASGD, one worker step):
+    x_i <- x_i - eta * g_i - eta * rho * (x_i - x_tilde)
+    x_tilde <- x_tilde + eta * rho * sum_i (x_i - x_tilde)
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.nn.module import Module
+from repro.optim.optimizer import Optimizer
+
+__all__ = ["EASGD"]
+
+
+class EASGD:
+    """Coordinates ``n`` worker models and a center model.
+
+    Each worker performs local SGD; :meth:`sync` applies the elastic
+    coupling.  ``rho`` is the elastic coefficient; the effective pull per
+    sync is ``alpha = eta * rho``.
+    """
+
+    def __init__(
+        self,
+        workers: Sequence[Module],
+        center: Module,
+        lr: float,
+        rho: float = 0.1,
+    ) -> None:
+        if not workers:
+            raise ValueError("EASGD needs at least one worker model")
+        if lr <= 0 or rho <= 0:
+            raise ValueError("lr and rho must be positive")
+        self.workers = list(workers)
+        self.center = center
+        self.lr = lr
+        self.rho = rho
+        self.alpha = lr * rho
+        if self.alpha * len(self.workers) >= 1.0:
+            raise ValueError(
+                f"unstable elastic coefficient: n*eta*rho = {self.alpha * len(self.workers):.3g} >= 1"
+            )
+        self._names = [name for name, _ in center.named_parameters()]
+        for w in self.workers:
+            names = [name for name, _ in w.named_parameters()]
+            if names != self._names:
+                raise ValueError("worker/center parameter structure mismatch")
+
+    def local_step(self, worker_index: int) -> None:
+        """Plain SGD step on one worker from its accumulated grads."""
+        worker = self.workers[worker_index]
+        for p in worker.parameters():
+            if p.grad is not None:
+                p.data = p.data - self.lr * p.grad
+
+    def sync(self) -> None:
+        """Apply the elastic coupling between all workers and the center."""
+        center_params = dict(self.center.named_parameters())
+        diffs_sum = {name: np.zeros_like(p.data) for name, p in center_params.items()}
+        for worker in self.workers:
+            for name, p in worker.named_parameters():
+                diff = p.data - center_params[name].data
+                p.data = p.data - self.alpha * diff
+                diffs_sum[name] += diff
+        for name, p in center_params.items():
+            p.data = p.data + self.alpha * diffs_sum[name]
+
+    def zero_grad(self) -> None:
+        for worker in self.workers:
+            worker.zero_grad()

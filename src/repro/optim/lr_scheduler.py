@@ -1,0 +1,58 @@
+"""Learning-rate schedulers."""
+
+from __future__ import annotations
+
+from repro.optim.optimizer import Optimizer
+
+__all__ = ["ConstantLR", "StepLR", "WarmupLinearLR"]
+
+
+class _Scheduler:
+    def __init__(self, optimizer: Optimizer) -> None:
+        self.optimizer = optimizer
+        self.base_lr = optimizer.lr
+        self.step_count = 0
+
+    def step(self) -> None:
+        self.step_count += 1
+        self.optimizer.lr = self._lr_at(self.step_count)
+
+    def _lr_at(self, step: int) -> float:
+        raise NotImplementedError
+
+
+class ConstantLR(_Scheduler):
+    """No-op scheduler (keeps the base LR)."""
+    def _lr_at(self, step: int) -> float:
+        return self.base_lr
+
+
+class StepLR(_Scheduler):
+    """Multiply the LR by ``gamma`` every ``step_size`` steps."""
+
+    def __init__(self, optimizer: Optimizer, step_size: int, gamma: float = 0.1) -> None:
+        super().__init__(optimizer)
+        if step_size <= 0:
+            raise ValueError("step_size must be positive")
+        self.step_size = step_size
+        self.gamma = gamma
+
+    def _lr_at(self, step: int) -> float:
+        return self.base_lr * self.gamma ** (step // self.step_size)
+
+
+class WarmupLinearLR(_Scheduler):
+    """Linear warmup to base LR, then linear decay to zero (BERT recipe)."""
+
+    def __init__(self, optimizer: Optimizer, warmup_steps: int, total_steps: int) -> None:
+        super().__init__(optimizer)
+        if not 0 <= warmup_steps < total_steps:
+            raise ValueError(f"need 0 <= warmup ({warmup_steps}) < total ({total_steps})")
+        self.warmup_steps = warmup_steps
+        self.total_steps = total_steps
+
+    def _lr_at(self, step: int) -> float:
+        if step < self.warmup_steps:
+            return self.base_lr * step / max(1, self.warmup_steps)
+        remaining = max(0, self.total_steps - step)
+        return self.base_lr * remaining / max(1, self.total_steps - self.warmup_steps)

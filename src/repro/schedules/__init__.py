@@ -1,0 +1,56 @@
+"""Pipeline schedules.
+
+A schedule maps (stage index, num stages K, num micro-batches M) to an
+ordered op stream of forward/backward ops; the simulator executor
+(:mod:`repro.schedules.executor`) and the real-numerics runtimes both
+consume the same streams, so timing experiments and statistical-efficiency
+experiments always agree on *what* runs — only the substrate differs.
+
+Implemented schedules (paper §4):
+
+* :class:`AFABSchedule` — all-forward-all-backward (GPipe): full
+  comm/compute overlap, full activation stash.
+* :class:`OneFOneBSchedule` — 1F1B / early-backward (PipeDream-2BW,
+  Dapple): stash bound K-k+1, but interleaving exposes communication.
+* :class:`AdvanceFPSchedule` — 1F1B plus ``advance`` extra forwards
+  scheduled early (the paper's contribution; Algorithm 1's degenerate
+  cases: advance=0 is 1F1B, advance=M is AFAB).
+* :class:`PipeDreamSchedule` — 1F1B with per-micro-batch asynchronous
+  updates and K-k weight versions (multi-version pipeline).
+* :class:`AdaptiveAdvanceController` — Algorithm 1's runtime policy for
+  growing ``advance`` while it pays off and memory allows.
+"""
+
+from repro.schedules.base import (
+    AFABSchedule,
+    AdvanceFPSchedule,
+    OneFOneBSchedule,
+    PipeDreamSchedule,
+    Schedule,
+    StageOp,
+    schedule_by_name,
+)
+from repro.schedules.adaptive import AdaptiveAdvanceController
+from repro.schedules.executor import PipelineSimRunner, SimIterationResult, StageCosts
+from repro.schedules.data_parallel import DataParallelSimRunner
+from repro.schedules.chimera import chimera_device_map, simulate_chimera
+from repro.schedules.interleaved import interleaved_device_map, simulate_interleaved
+
+__all__ = [
+    "StageOp",
+    "Schedule",
+    "AFABSchedule",
+    "OneFOneBSchedule",
+    "AdvanceFPSchedule",
+    "PipeDreamSchedule",
+    "schedule_by_name",
+    "AdaptiveAdvanceController",
+    "PipelineSimRunner",
+    "SimIterationResult",
+    "StageCosts",
+    "DataParallelSimRunner",
+    "simulate_chimera",
+    "chimera_device_map",
+    "simulate_interleaved",
+    "interleaved_device_map",
+]

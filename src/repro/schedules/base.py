@@ -1,0 +1,189 @@
+"""Schedule definitions: per-stage op streams and weight-version policies.
+
+All schedules here share the op-stream representation: stage k executes
+its list of :class:`StageOp` in order, blocking on data dependencies
+(activations from stage k-1 for forwards, gradients from stage k+1 for
+backwards).  The list encodes *when the stage is willing to run an op*,
+which is the whole difference between AFAB, 1F1B and advance-FP.
+
+Invariants (property-tested):
+* every stream contains F(i) and B(i) exactly once for each micro-batch;
+* F(i) precedes B(i);
+* forwards appear in micro-batch order, backwards in micro-batch order;
+* the peak number of in-flight micro-batches (forwarded, not yet
+  backwarded) equals the schedule's advertised ``stash_bound``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+__all__ = [
+    "StageOp",
+    "Schedule",
+    "AFABSchedule",
+    "OneFOneBSchedule",
+    "AdvanceFPSchedule",
+    "PipeDreamSchedule",
+    "schedule_by_name",
+]
+
+
+@dataclass(frozen=True)
+class StageOp:
+    """One schedule slot: run 'fwd' or 'bwd' of a micro-batch."""
+    kind: str  # "fwd" | "bwd"
+    micro: int
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("fwd", "bwd"):
+            raise ValueError(f"bad op kind {self.kind!r}")
+        if self.micro < 0:
+            raise ValueError(f"negative micro-batch index {self.micro}")
+
+
+def _interleaved_stream(num_micro: int, warmup: int) -> list[StageOp]:
+    """F x warmup, then (F, B) pairs, then drain the remaining Bs."""
+    warmup = max(0, min(warmup, num_micro))
+    ops: list[StageOp] = [StageOp("fwd", i) for i in range(warmup)]
+    for j in range(num_micro - warmup):
+        ops.append(StageOp("fwd", warmup + j))
+        ops.append(StageOp("bwd", j))
+    for j in range(num_micro - warmup, num_micro):
+        ops.append(StageOp("bwd", j))
+    return ops
+
+
+class Schedule:
+    """Base class: subclasses define the op stream + version policy."""
+
+    name = "base"
+    #: weights are updated once per batch (True) or per micro-batch (False)
+    sync_at_batch_end = True
+
+    def stage_ops(self, stage: int, num_stages: int, num_micro: int) -> list[StageOp]:
+        raise NotImplementedError
+
+    def weight_versions(self, stage: int, num_stages: int) -> int:
+        """How many weight copies the stage keeps resident."""
+        return 1
+
+    def stash_bound(self, stage: int, num_stages: int, num_micro: int) -> int:
+        """Max simultaneously-stashed forward activations on ``stage``."""
+        ops = self.stage_ops(stage, num_stages, num_micro)
+        depth = peak = 0
+        for op in ops:
+            depth += 1 if op.kind == "fwd" else -1
+            peak = max(peak, depth)
+        return peak
+
+    def _validate(self, stage: int, num_stages: int, num_micro: int) -> None:
+        if not 0 <= stage < num_stages:
+            raise ValueError(f"stage {stage} outside 0..{num_stages - 1}")
+        if num_micro <= 0:
+            raise ValueError(f"num_micro must be positive, got {num_micro}")
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class AFABSchedule(Schedule):
+    """All-forward-all-backward (GPipe §4.1, Figure 7a)."""
+
+    name = "afab"
+
+    def stage_ops(self, stage: int, num_stages: int, num_micro: int) -> list[StageOp]:
+        self._validate(stage, num_stages, num_micro)
+        return [StageOp("fwd", i) for i in range(num_micro)] + [
+            StageOp("bwd", i) for i in range(num_micro)
+        ]
+
+
+class OneFOneBSchedule(Schedule):
+    """1F1B / early-backward (PipeDream-2BW, Dapple; Figure 7b).
+
+    Stage k warms up with K-1-k forwards then strictly alternates; peak
+    stash is K-k micro-batches (the paper's K-k+1 in 1-indexed stages).
+
+    ``versions`` distinguishes the two users of this schedule: Dapple is
+    fully synchronous (1 resident weight copy) while PipeDream-2BW
+    double-buffers (2 copies) to overlap the update with the next batch.
+    """
+
+    name = "1f1b"
+
+    def __init__(self, versions: int = 2) -> None:
+        if versions not in (1, 2):
+            raise ValueError(f"1F1B keeps 1 (Dapple) or 2 (2BW) versions, got {versions}")
+        self.versions = versions
+
+    def stage_ops(self, stage: int, num_stages: int, num_micro: int) -> list[StageOp]:
+        self._validate(stage, num_stages, num_micro)
+        return _interleaved_stream(num_micro, warmup=num_stages - 1 - stage)
+
+    def weight_versions(self, stage: int, num_stages: int) -> int:
+        return self.versions
+
+
+class AdvanceFPSchedule(Schedule):
+    """1F1B with ``advance`` extra forwards issued early (§4.2, Figure 7c).
+
+    ``advance = 0`` degenerates to 1F1B; ``advance >= M`` to AFAB —
+    exactly the trade-off §4.2 describes.
+    """
+
+    name = "advance_fp"
+
+    def __init__(self, advance: int = 1) -> None:
+        if advance < 0:
+            raise ValueError(f"advance must be non-negative, got {advance}")
+        self.advance = advance
+
+    def stage_ops(self, stage: int, num_stages: int, num_micro: int) -> list[StageOp]:
+        self._validate(stage, num_stages, num_micro)
+        warmup = (num_stages - 1 - stage) + self.advance
+        return _interleaved_stream(num_micro, warmup=warmup)
+
+    def weight_versions(self, stage: int, num_stages: int) -> int:
+        return 1  # AvgPipe pipelines are synchronous per batch
+
+    def __repr__(self) -> str:
+        return f"AdvanceFPSchedule(advance={self.advance})"
+
+
+class PipeDreamSchedule(Schedule):
+    """PipeDream's multi-version async pipeline (§2, Figure 3b).
+
+    The op stream is 1F1B-shaped, but weights update per micro-batch
+    (``sync_at_batch_end = False``) and stage k keeps K-k weight versions
+    resident — the memory behaviour that OOMs BERT on six devices in
+    Figure 11.
+    """
+
+    name = "pipedream"
+    sync_at_batch_end = False
+
+    def stage_ops(self, stage: int, num_stages: int, num_micro: int) -> list[StageOp]:
+        self._validate(stage, num_stages, num_micro)
+        return _interleaved_stream(num_micro, warmup=num_stages - 1 - stage)
+
+    def weight_versions(self, stage: int, num_stages: int) -> int:
+        return num_stages - stage
+
+
+def schedule_by_name(name: str, advance: int = 1) -> Schedule:
+    """Look up a schedule by its short name or alias."""
+    table: dict[str, Schedule] = {
+        "afab": AFABSchedule(),
+        "gpipe": AFABSchedule(),
+        "1f1b": OneFOneBSchedule(),
+        "dapple": OneFOneBSchedule(versions=1),
+        "2bw": OneFOneBSchedule(versions=2),
+        "advance_fp": AdvanceFPSchedule(advance=advance),
+        "pipedream": PipeDreamSchedule(),
+    }
+    try:
+        return table[name]
+    except KeyError:
+        raise KeyError(f"unknown schedule {name!r}; available: {sorted(table)}") from None

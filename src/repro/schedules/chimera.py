@@ -1,0 +1,64 @@
+"""Chimera-style bidirectional pipelines [Li & Hoefler, SC'21].
+
+The paper discusses Chimera as related work (§8): two pipelines run in
+opposite directions over the same devices, each carrying half of the
+batch's micro-batches, so one pipeline's warmup bubbles are filled by the
+other's steady phase.  We model it with the executor's ``device_map``:
+pipeline 0 places stage k on device k, pipeline 1 on device K-1-k, each
+running a 1F1B stream over M/2 micro-batches.
+
+Unlike AvgPipe's parallel pipelines, Chimera's two halves together form
+ONE batch, so the iteration time *is* the batch time (no 1/N
+amortization) and there is no statistical-efficiency change — but each
+device holds two stage replicas, the memory cost the paper points out.
+"""
+
+from __future__ import annotations
+
+from repro.schedules.base import OneFOneBSchedule
+from repro.schedules.executor import PipelineSimRunner, SimIterationResult, StageCosts
+from repro.sim.cluster import Cluster
+
+__all__ = ["simulate_chimera", "chimera_device_map"]
+
+
+def chimera_device_map(num_stages: int) -> list[list[int]]:
+    """Down pipeline on devices 0..K-1, up pipeline on K-1..0."""
+    forward = list(range(num_stages))
+    return [forward, forward[::-1]]
+
+
+def simulate_chimera(
+    cluster: Cluster,
+    stage_costs: StageCosts,
+    num_micro: int,
+    mb_size: float,
+    iterations: int = 1,
+    optimizer_state_factor: float = 2.0,
+) -> SimIterationResult:
+    """Run one Chimera iteration: two opposed half-pipelines per batch.
+
+    ``num_micro`` is the total micro-batch count of the batch; each
+    direction carries half.  Requires an even count.
+    """
+    if num_micro % 2 != 0:
+        raise ValueError(f"Chimera needs an even micro-batch count, got {num_micro}")
+    runner = PipelineSimRunner(
+        cluster,
+        OneFOneBSchedule(versions=1),
+        stage_costs,
+        num_micro=num_micro // 2,
+        mb_size=mb_size,
+        num_pipelines=2,
+        with_reference_model=False,
+        optimizer_state_factor=optimizer_state_factor,
+        device_map=chimera_device_map(stage_costs.num_stages),
+    )
+    result = runner.run(iterations=iterations)
+    if result.oom is not None:
+        return result
+    # The two "pipelines" jointly process ONE batch: undo the executor's
+    # per-pipeline amortization so time_per_batch reports honestly.
+    result.num_pipelines = 1
+    result.num_micro = num_micro
+    return result

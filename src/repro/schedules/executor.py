@@ -1,0 +1,509 @@
+"""Simulator-side pipeline executor.
+
+Runs one or more training iterations of N parallel pipelines over a
+simulated cluster under a given schedule, producing the measurements the
+paper's figures report: batch time, per-device T_gpu/T_com/T_bub
+(Equation 1), peak memory by category, utilization traces and ASCII
+timelines.
+
+One generator process per (pipeline, stage) walks the schedule's op
+stream; data dependencies are events completed by link transfers, so
+starvation, overlap and contention emerge from the event engine rather
+than being hand-coded per schedule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.graph.cost_model import LayerCost
+from repro.graph.partitioner import Partition
+from repro.schedules.base import Schedule, StageOp
+from repro.sim.cluster import Cluster
+from repro.sim.events import Event, Simulator
+from repro.sim.memory import OutOfMemoryError
+from repro.sim.trace import SpanKind, TraceRecorder
+
+__all__ = ["StageCosts", "PipelineSimRunner", "SimIterationResult"]
+
+#: backward work relative to forward (the usual 2x rule of thumb)
+BWD_FLOP_FACTOR = 2.0
+#: optimizer state bytes per parameter byte (Adam: m and v)
+OPT_STATE_FACTOR = 2.0
+
+
+@dataclass(frozen=True)
+class StageCosts:
+    """Per-stage costs for one micro-batch of ``mb_size`` samples."""
+
+    fwd_flops: tuple[float, ...]
+    act_out_bytes: tuple[float, ...]  # transfer size stage k -> k+1
+    stash_bytes: tuple[float, ...]  # activation memory retained F -> B
+    param_bytes: tuple[int, ...]
+
+    @property
+    def num_stages(self) -> int:
+        return len(self.fwd_flops)
+
+    @staticmethod
+    def from_partition(
+        costs: Sequence[LayerCost],
+        partition: Partition,
+        mb_size: float,
+        activation_byte_scale: float = 1.0,
+        param_byte_scale: float = 1.0,
+        stash_multiplier: float = 6.0,
+    ) -> "StageCosts":
+        """Aggregate per-layer costs into per-stage costs at ``mb_size``.
+
+        The two scale factors calibrate the miniature CPU models back to
+        the paper's testbed regime: model *width* was shrunk ~20x, which
+        shrinks flops quadratically but bytes only linearly, so byte
+        quantities must be re-inflated for the simulated comm/compute and
+        memory/capacity ratios to match the 1 Gbps + 32 GB V100 setup.
+        Values per workload live in :mod:`repro.core.simcfg`; the
+        calibration rationale is documented in DESIGN.md.
+
+        ``stash_multiplier`` prices the *internal* activations a backward
+        pass needs (LSTM gates, attention maps, MLP intermediates) as a
+        multiple of the layer's output bytes — the stash a stage holds
+        between a micro-batch's forward and backward is several times the
+        tensor it ships downstream.
+        """
+        if mb_size <= 0:
+            raise ValueError(f"micro-batch size must be positive, got {mb_size}")
+        if activation_byte_scale <= 0 or param_byte_scale <= 0:
+            raise ValueError("byte scales must be positive")
+        if stash_multiplier < 1.0:
+            raise ValueError("stash_multiplier must be >= 1")
+        fwd, act_out, stash, params = [], [], [], []
+        for k in range(partition.num_stages):
+            lo, hi = partition.span(k)
+            fwd.append(sum(c.flops_per_sample for c in costs[lo:hi]) * mb_size)
+            act_out.append(
+                costs[hi - 1].activation_bytes_per_sample * mb_size * activation_byte_scale
+            )
+            stash.append(
+                sum(c.activation_bytes_per_sample for c in costs[lo:hi])
+                * mb_size
+                * activation_byte_scale
+                * stash_multiplier
+            )
+            params.append(int(sum(c.param_bytes for c in costs[lo:hi]) * param_byte_scale))
+        return StageCosts(tuple(fwd), tuple(act_out), tuple(stash), tuple(params))
+
+
+@dataclass
+class SimIterationResult:
+    """Measurements from a simulated run of ``iterations`` batches."""
+
+    batch_time: float  # mean seconds per iteration
+    total_time: float
+    iterations: int
+    num_stages: int
+    num_micro: int
+    num_pipelines: int
+    decomposition: list[dict[str, float]]  # per device, per batch
+    comm_sent_time: list[float]  # T^k: per-stage total transfer seconds/batch
+    peak_memory: list[int]  # bytes per device
+    weight_memory: list[int]  # bytes per device (model + versions + opt state)
+    reference_memory: list[int]  # bytes of the co-partitioned reference copy
+    data_memory_peak: list[int]  # peak activation bytes per device
+    avg_utilization: float
+    utilization_curves: np.ndarray | None = None
+    timeline: str = ""
+    oom: OutOfMemoryError | None = None
+
+    @property
+    def time_per_batch(self) -> float:
+        """Seconds per *batch* of data: an iteration advances
+        ``num_pipelines`` batches concurrently (Equation 2's amortization)."""
+        return self.batch_time / self.num_pipelines
+
+    @property
+    def last_device_idle(self) -> float:
+        d = self.decomposition[-1]
+        return d["com"] + d["bub"]
+
+
+class _TransferTag:
+    """Bookkeeping for COMM-vs-BUBBLE wait classification."""
+
+    __slots__ = ("started_at", "event")
+
+    def __init__(self, event: Event) -> None:
+        self.started_at: float | None = None
+        self.event = event
+
+
+class PipelineSimRunner:
+    """Simulates N parallel pipelines of K stages on a cluster.
+
+    Stage k of every pipeline is placed on device k (the paper's straight
+    chain).  The reference-model process of AvgPipe lives on the same
+    device and communicates through intra-process queues, so it adds
+    memory but no network traffic; its (tiny) update cost is modelled as
+    a low-demand kernel at batch boundaries.
+    """
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        schedule: Schedule,
+        stage_costs: StageCosts,
+        num_micro: int,
+        mb_size: float,
+        num_pipelines: int = 1,
+        with_reference_model: bool = False,
+        optimizer_state_factor: float = OPT_STATE_FACTOR,
+        record_utilization: bool = False,
+        device_map: list[list[int]] | None = None,
+        activation_recompute: bool = False,
+    ) -> None:
+        if device_map is None and stage_costs.num_stages != cluster.num_devices:
+            raise ValueError(
+                f"{stage_costs.num_stages} stages vs {cluster.num_devices} devices "
+                "(pass device_map for virtual stages)"
+            )
+        if num_pipelines < 1:
+            raise ValueError("need at least one pipeline")
+        if device_map is not None:
+            if len(device_map) != num_pipelines:
+                raise ValueError("device_map needs one row per pipeline")
+            for row in device_map:
+                if len(row) != stage_costs.num_stages:
+                    raise ValueError(
+                        f"device_map rows must have one device per stage, got {row}"
+                    )
+                if any(not 0 <= d < cluster.num_devices for d in row):
+                    raise ValueError(f"device index out of range in {row}")
+                # Every device must host at least one stage so weights and
+                # traffic stay balanced across the cluster.
+                if set(row) != set(range(cluster.num_devices)):
+                    raise ValueError(
+                        f"each device_map row must cover every device, got {row}"
+                    )
+        self.cluster = cluster
+        self.schedule = schedule
+        self.costs = stage_costs
+        self.num_micro = num_micro
+        self.mb_size = mb_size
+        self.num_pipelines = num_pipelines
+        self.with_reference_model = with_reference_model
+        self.optimizer_state_factor = optimizer_state_factor
+        self.record_utilization = record_utilization
+        #: device_map[p][k] = device hosting stage k of pipeline p.  The
+        #: default straight chain puts stage k on device k for every
+        #: pipeline; Chimera-style bidirectional pipelines pass a reversed
+        #: row for the second pipeline so each device hosts one early and
+        #: one late stage and the warmup bubbles interleave.
+        self.device_map = device_map or [
+            list(range(stage_costs.num_stages)) for _ in range(num_pipelines)
+        ]
+        #: Activation recomputation (GPipe's re-materialization; the
+        #: paper's baselines disable it, §7.1): between a micro-batch's
+        #: forward and backward only the stage-input activation is kept
+        #: (act_out of the previous stage) and the internal stash is
+        #: rebuilt by an extra forward pass folded into the backward —
+        #: trading ~1x forward flops for the stash memory.
+        self.activation_recompute = activation_recompute
+        self.trace = TraceRecorder()
+
+    def _device_of(self, pipeline: int, stage: int) -> int:
+        return self.device_map[pipeline][stage]
+
+    # ------------------------------------------------------------------ #
+
+    def run(self, iterations: int = 1, render_timeline: bool = False) -> SimIterationResult:
+        sim = self.cluster.sim
+        K = self.costs.num_stages
+        N = self.num_pipelines
+        M = self.num_micro
+
+        try:
+            weight_bytes, reference_bytes = self._allocate_weights()
+        except OutOfMemoryError as oom:
+            return self._oom_result(oom)
+
+        start_time = sim.now
+        comm_sent = [0.0] * K
+        oom_box: list[OutOfMemoryError] = []
+
+        # Dependency events: act_ready[p][k][it*M + i], grad_ready likewise.
+        total_mb = iterations * M
+        act_ready = [
+            [[_TransferTag(sim.event()) for _ in range(total_mb)] for _ in range(K)]
+            for _ in range(N)
+        ]
+        grad_ready = [
+            [[_TransferTag(sim.event()) for _ in range(total_mb)] for _ in range(K)]
+            for _ in range(N)
+        ]
+        # Per-iteration barriers for synchronous schedules.
+        stage_done = [
+            [[sim.event() for _ in range(K)] for _ in range(iterations)] for _ in range(N)
+        ]
+
+        processes = []
+        for p in range(N):
+            for k in range(K):
+                gen = self._stage_process(
+                    sim, p, k, iterations, act_ready, grad_ready, stage_done,
+                    comm_sent, oom_box,
+                )
+                processes.append(sim.process(gen, name=f"pipe{p}.stage{k}"))
+
+        finish = sim.all_of(processes)
+        try:
+            sim.run_until_process(finish)
+        except RuntimeError:
+            # A stage that died on OOM starves its neighbours of events;
+            # the engine reports the resulting deadlock — translate it.
+            if not oom_box:
+                raise
+        if oom_box:
+            self._free_weights(weight_bytes)
+            return self._oom_result(oom_box[0])
+        total = sim.now - start_time
+        horizon = sim.now
+
+        decomposition = []
+        for dev in range(self.cluster.num_devices):
+            d = self.trace.time_decomposition(dev)
+            decomposition.append({key: v / iterations for key, v in d.items()})
+
+        peak_mem = [dev.memory.peak for dev in self.cluster.devices]
+        data_peak = [dev.memory.peak_by_tag.get("activations", 0) for dev in self.cluster.devices]
+        avg_util = TraceRecorder.average_utilization(self.cluster, horizon) if horizon > 0 else 0.0
+        curves = None
+        if self.record_utilization:
+            curves = np.stack(
+                [
+                    TraceRecorder.utilization_curve(self.cluster, dev, horizon)
+                    for dev in range(self.cluster.num_devices)
+                ]
+            )
+        timeline = (
+            self.trace.render(self.cluster.num_devices, end_time=horizon)
+            if render_timeline
+            else ""
+        )
+
+        self._free_weights(weight_bytes)
+        return SimIterationResult(
+            batch_time=total / iterations,
+            total_time=total,
+            iterations=iterations,
+            num_stages=K,
+            num_micro=M,
+            num_pipelines=N,
+            decomposition=decomposition,
+            comm_sent_time=[c / iterations for c in comm_sent],
+            peak_memory=peak_mem,
+            weight_memory=weight_bytes,
+            reference_memory=reference_bytes,
+            data_memory_peak=data_peak,
+            avg_utilization=avg_util,
+            utilization_curves=curves,
+            timeline=timeline,
+        )
+
+    # ------------------------------------------------------------------ #
+
+    def _allocate_weights(self) -> tuple[list[int], list[int]]:
+        """Reserve model(+versions+optimizer+reference) memory per device.
+
+        Returns (total bytes, reference bytes) per device; the reference
+        copy is reported separately because it does not scale with the
+        pipeline count (the predictor's refined Equation 8 needs this).
+        """
+        K = self.costs.num_stages
+        out = [0] * self.cluster.num_devices
+        refs = [0] * self.cluster.num_devices
+        for p in range(self.num_pipelines):
+            for k in range(K):
+                dev_idx = self._device_of(p, k)
+                versions = self.schedule.weight_versions(k, K)
+                out[dev_idx] += int(
+                    self.costs.param_bytes[k] * (versions + self.optimizer_state_factor)
+                )
+        if self.with_reference_model:
+            # The reference is co-partitioned along the first pipeline.
+            for k in range(K):
+                dev_idx = self._device_of(0, k)
+                refs[dev_idx] = self.costs.param_bytes[k]
+                out[dev_idx] += refs[dev_idx]
+        for dev, nbytes in zip(self.cluster.devices, out):
+            dev.memory.alloc(nbytes, tag="weights")
+        return out, refs
+
+    def _free_weights(self, allocated: list[int]) -> None:
+        for dev, nbytes in zip(self.cluster.devices, allocated):
+            dev.memory.free(nbytes, tag="weights")
+
+    def _oom_result(self, oom: OutOfMemoryError) -> SimIterationResult:
+        K = self.costs.num_stages
+        D = self.cluster.num_devices
+        return SimIterationResult(
+            batch_time=float("inf"),
+            total_time=float("inf"),
+            iterations=0,
+            num_stages=K,
+            num_micro=self.num_micro,
+            num_pipelines=self.num_pipelines,
+            decomposition=[{"gpu": 0.0, "com": 0.0, "bub": 0.0, "sync": 0.0}] * D,
+            comm_sent_time=[0.0] * K,
+            peak_memory=[dev.memory.capacity for dev in self.cluster.devices],
+            weight_memory=[0] * D,
+            reference_memory=[0] * D,
+            data_memory_peak=[0] * D,
+            avg_utilization=0.0,
+            oom=oom,
+        )
+
+    # ------------------------------------------------------------------ #
+
+    def _stage_process(
+        self,
+        sim: Simulator,
+        pipeline: int,
+        stage: int,
+        iterations: int,
+        act_ready,
+        grad_ready,
+        stage_done,
+        comm_sent: list[float],
+        oom_box: list[OutOfMemoryError],
+    ):
+        K = self.costs.num_stages
+        M = self.num_micro
+        device = self.cluster.devices[self._device_of(pipeline, stage)]
+        ops = self.schedule.stage_ops(stage, K, M)
+        sync = self.schedule.sync_at_batch_end
+
+        for it in range(iterations):
+            if oom_box:
+                return
+            for op in ops:
+                mb = it * M + op.micro
+                if op.kind == "fwd":
+                    # -- wait for the activation from upstream ---------------
+                    if stage > 0:
+                        yield from self._classified_wait(
+                            sim, device.index, act_ready[pipeline][stage][mb]
+                        )
+                    # -- stash activation memory -----------------------------
+                    stash = self._stash_bytes(stage)
+                    try:
+                        device.memory.alloc(stash, tag="activations")
+                    except OutOfMemoryError as oom:
+                        oom_box.append(oom)
+                        return
+                    # -- compute ---------------------------------------------
+                    t0 = sim.now
+                    yield device.run_kernel(
+                        self.costs.fwd_flops[stage], self.mb_size,
+                        name=f"p{pipeline}.f{mb}",
+                    )
+                    self.trace.record(device.index, t0, sim.now, SpanKind.FWD, str(op.micro + 1))
+                    # -- ship the activation downstream (asynchronously) -----
+                    if stage < K - 1:
+                        self._send(
+                            sim,
+                            self._device_of(pipeline, stage),
+                            self._device_of(pipeline, stage + 1),
+                            self.costs.act_out_bytes[stage],
+                            act_ready[pipeline][stage + 1][mb],
+                            comm_sent,
+                            stage,
+                        )
+                else:  # bwd
+                    if stage < K - 1:
+                        yield from self._classified_wait(
+                            sim, device.index, grad_ready[pipeline][stage][mb]
+                        )
+                    t0 = sim.now
+                    bwd_flops = self.costs.fwd_flops[stage] * BWD_FLOP_FACTOR
+                    if self.activation_recompute:
+                        # Re-materialize the stash: one extra forward pass.
+                        bwd_flops += self.costs.fwd_flops[stage]
+                    yield device.run_kernel(
+                        bwd_flops, self.mb_size,
+                        name=f"p{pipeline}.b{mb}",
+                    )
+                    self.trace.record(device.index, t0, sim.now, SpanKind.BWD, str(op.micro + 1))
+                    device.memory.free(self._stash_bytes(stage), tag="activations")
+                    if stage > 0:
+                        self._send(
+                            sim,
+                            self._device_of(pipeline, stage),
+                            self._device_of(pipeline, stage - 1),
+                            self.costs.act_out_bytes[stage - 1],
+                            grad_ready[pipeline][stage - 1][mb],
+                            comm_sent,
+                            stage,
+                        )
+
+            # ---------------- batch boundary -------------------------------
+            if sync:
+                # Local optimizer step (+ elastic pull & async update send for
+                # AvgPipe): elementwise over the stage's weights, low demand.
+                t0 = sim.now
+                update_flops = self.costs.param_bytes[stage] / 4 * 3
+                if self.with_reference_model:
+                    update_flops *= 2  # elastic pull + reference accumulate
+                yield device.compute.execute(update_flops, demand=0.25, name="opt")
+                self.trace.record(device.index, t0, sim.now, SpanKind.SYNC, "opt")
+                stage_done[pipeline][it][stage].succeed()
+                # All stages of this pipeline join before the next batch —
+                # the semantics of a per-batch optimizer step.
+                yield sim.all_of(stage_done[pipeline][it])
+            # Async schedules (PipeDream) roll straight into the next batch.
+
+    def _stash_bytes(self, stage: int) -> int:
+        """Bytes held between a micro-batch's forward and its backward."""
+        if self.activation_recompute:
+            # Only the stage boundary input survives; internals are rebuilt.
+            boundary = self.costs.act_out_bytes[stage - 1] if stage > 0 else (
+                self.costs.act_out_bytes[stage]  # first stage keeps its input batch
+            )
+            return int(min(boundary, self.costs.stash_bytes[stage]))
+        return int(self.costs.stash_bytes[stage])
+
+    # ------------------------------------------------------------------ #
+
+    def _send(
+        self, sim, src_dev: int, dst_dev: int, nbytes: float,
+        tag: "_TransferTag", comm_sent, src_stage: int,
+    ) -> None:
+        link = self.cluster.link(src_dev, dst_dev)
+        tag.started_at = sim.now
+        t_start = sim.now
+        done = link.transfer(nbytes, name=f"{src_dev}->{dst_dev}")
+
+        def deliver(_: Event) -> None:
+            comm_sent[src_stage] += sim.now - t_start
+            if not tag.event.triggered:
+                tag.event.succeed()
+
+        done.add_callback(deliver)
+
+    def _classified_wait(self, sim, device_index: int, tag: "_TransferTag"):
+        """Wait on a dependency; split the wait into BUBBLE (producer not
+        even started sending) and COMM (transfer in flight) spans."""
+        if tag.event.triggered:
+            return
+        wait_start = sim.now
+        yield tag.event
+        arrive = sim.now
+        if arrive <= wait_start:
+            return
+        xfer_start = tag.started_at if tag.started_at is not None else arrive
+        split = min(max(xfer_start, wait_start), arrive)
+        if split > wait_start:
+            self.trace.record(device_index, wait_start, split, SpanKind.BUBBLE)
+        if arrive > split:
+            self.trace.record(device_index, split, arrive, SpanKind.COMM)

@@ -1,0 +1,116 @@
+"""Cluster topology: devices grouped into nodes, links between them.
+
+:func:`make_cluster` builds the paper's testbed shape — ``nodes`` machines
+with ``gpus_per_node`` devices each, fast intra-node links and a slow
+shared-Ethernet path between nodes.  Device indices are global and
+pipeline stage k maps to device k (the paper's straight-chain placement).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.sim.device import Device, UtilizationCurve
+from repro.sim.events import Simulator
+from repro.sim.link import Link
+
+__all__ = ["ClusterSpec", "Cluster", "make_cluster"]
+
+GIB = 2**30
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """Hardware parameters; defaults mirror the paper's testbed scaled to
+    the synthetic workloads' flop counts.
+
+    ``peak_flops`` is deliberately small because the synthetic models are
+    small; what matters is the *ratio* of compute time to communication
+    time, tuned so inter-node activation transfers cost the same order as
+    a micro-batch of compute — the regime where the paper's scheduling
+    effects appear.
+    """
+
+    nodes: int = 3
+    gpus_per_node: int = 2
+    peak_flops: float = 2.0e8
+    memory_bytes: int = 2 * GIB
+    intra_node_bandwidth: float = 8.0e9  # NVLink/PCIe class, bytes/s
+    inter_node_bandwidth: float = 1.25e8  # 1 Gbps Ethernet in bytes/s
+    intra_node_latency: float = 5e-6
+    inter_node_latency: float = 1e-4
+    curve: UtilizationCurve = field(default_factory=UtilizationCurve)
+
+    @property
+    def num_devices(self) -> int:
+        return self.nodes * self.gpus_per_node
+
+
+class Cluster:
+    """Devices grouped into nodes with lazily-created directed links."""
+    def __init__(self, sim: Simulator, spec: ClusterSpec) -> None:
+        self.sim = sim
+        self.spec = spec
+        self.devices: list[Device] = [
+            Device(
+                sim,
+                index=i,
+                node=i // spec.gpus_per_node,
+                peak_flops=spec.peak_flops,
+                memory_bytes=spec.memory_bytes,
+                curve=spec.curve,
+            )
+            for i in range(spec.num_devices)
+        ]
+        self._links: dict[tuple[int, int], Link] = {}
+
+    def link(self, src: int, dst: int) -> Link:
+        """The directed link between two devices (created lazily)."""
+        if src == dst:
+            raise ValueError("no self-links")
+        key = (src, dst)
+        if key not in self._links:
+            same_node = self.devices[src].node == self.devices[dst].node
+            self._links[key] = Link(
+                self.sim,
+                src,
+                dst,
+                bandwidth_bytes_per_sec=(
+                    self.spec.intra_node_bandwidth if same_node else self.spec.inter_node_bandwidth
+                ),
+                latency_sec=(
+                    self.spec.intra_node_latency if same_node else self.spec.inter_node_latency
+                ),
+            )
+        return self._links[key]
+
+    def is_cross_node(self, src: int, dst: int) -> bool:
+        return self.devices[src].node != self.devices[dst].node
+
+    @property
+    def num_devices(self) -> int:
+        return len(self.devices)
+
+
+def make_cluster(
+    sim: Simulator,
+    num_devices: int | None = None,
+    spec: ClusterSpec | None = None,
+    **overrides,
+) -> Cluster:
+    """Convenience factory.
+
+    ``make_cluster(sim, 6)`` gives the paper's 3x2 testbed;
+    ``make_cluster(sim, 4)`` the 2-node AWD configuration.
+    """
+    if spec is None:
+        if num_devices is None:
+            raise ValueError("pass num_devices or spec")
+        if num_devices % 2 == 0:
+            base = ClusterSpec(nodes=num_devices // 2, gpus_per_node=2, **overrides)
+        else:
+            base = ClusterSpec(nodes=num_devices, gpus_per_node=1, **overrides)
+        spec = base
+    elif num_devices is not None and spec.num_devices != num_devices:
+        raise ValueError(f"spec has {spec.num_devices} devices, asked for {num_devices}")
+    return Cluster(sim, spec)

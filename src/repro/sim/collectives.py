@@ -1,0 +1,56 @@
+"""Collective-communication primitives on the simulated cluster.
+
+The data-parallel baseline prices its gradient synchronization as a ring
+all-reduce; this module provides the ring as a reusable, step-accurate
+simulation (2(K-1) phases of chunk exchanges over the actual link
+topology) plus an analytic lower bound, so the coarser single-transfer
+approximation used by :class:`DataParallelSimRunner` can be validated
+against a faithful execution (see ``tests/test_sim_collectives.py``).
+"""
+
+from __future__ import annotations
+
+from repro.sim.cluster import Cluster
+from repro.sim.events import Event, Simulator
+
+__all__ = ["ring_allreduce", "ring_allreduce_lower_bound"]
+
+
+def ring_allreduce(cluster: Cluster, nbytes: float, name: str = "allreduce") -> Event:
+    """Simulate a ring all-reduce of ``nbytes`` per participant.
+
+    All devices participate in ring order.  The classic algorithm runs
+    2(K-1) phases; in each phase every device sends one chunk of size
+    ``nbytes / K`` to its successor, and a phase completes when every
+    transfer of that phase has arrived (the ring is bulk-synchronous at
+    chunk granularity).  Returns an event that fires at completion.
+    """
+    sim = cluster.sim
+    k = cluster.num_devices
+    if k < 2:
+        done = sim.event(name=name)
+        sim.schedule(0.0, done)
+        return done
+    chunk = nbytes / k
+
+    def protocol():
+        for _phase in range(2 * (k - 1)):
+            transfers = [
+                cluster.link(i, (i + 1) % k).transfer(chunk, name=f"{name}.p{_phase}.d{i}")
+                for i in range(k)
+            ]
+            yield sim.all_of(transfers)
+
+    return sim.process(protocol(), name=name)
+
+
+def ring_allreduce_lower_bound(cluster: Cluster, nbytes: float) -> float:
+    """Bandwidth-optimal time bound: 2(K-1)/K x nbytes over the slowest
+    link on the ring, plus per-phase latency."""
+    k = cluster.num_devices
+    if k < 2:
+        return 0.0
+    slowest_bw = min(cluster.link(i, (i + 1) % k).bandwidth for i in range(k))
+    max_latency = max(cluster.link(i, (i + 1) % k).latency for i in range(k))
+    phases = 2 * (k - 1)
+    return phases * (nbytes / k / slowest_bw + max_latency)

@@ -1,0 +1,156 @@
+"""Minimal discrete-event engine (a compact simpy).
+
+* :class:`Simulator` owns the clock and the event heap.
+* :class:`Event` — one-shot; processes wait on events; ``succeed(value)``
+  wakes all waiters at the current time.
+* :class:`Process` — wraps a generator that yields events; the engine
+  resumes the generator with the event's value when it fires.  A process
+  is itself an event (fires when the generator returns).
+* :class:`AllOf` — barrier over several events.
+
+The engine is deterministic: simultaneous events fire in schedule order
+(heap ties broken by a monotone sequence number), so every experiment is
+bit-reproducible.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable
+
+__all__ = ["Simulator", "Event", "Process", "AllOf"]
+
+
+class Event:
+    """A one-shot occurrence processes can wait on."""
+
+    __slots__ = ("sim", "triggered", "value", "callbacks", "name")
+
+    def __init__(self, sim: "Simulator", name: str = "") -> None:
+        self.sim = sim
+        self.triggered = False
+        self.value: Any = None
+        self.callbacks: list[Callable[["Event"], None]] = []
+        self.name = name
+
+    def succeed(self, value: Any = None) -> "Event":
+        if self.triggered:
+            raise RuntimeError(f"event {self.name or id(self)} already triggered")
+        self.triggered = True
+        self.value = value
+        callbacks, self.callbacks = self.callbacks, []
+        for cb in callbacks:
+            cb(self)
+        return self
+
+    def add_callback(self, callback: Callable[["Event"], None]) -> None:
+        if self.triggered:
+            callback(self)
+        else:
+            self.callbacks.append(callback)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "fired" if self.triggered else "pending"
+        return f"Event({self.name or hex(id(self))}, {state})"
+
+
+class AllOf(Event):
+    """Fires when every constituent event has fired."""
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]) -> None:
+        super().__init__(sim, name="all_of")
+        events = list(events)
+        self._remaining = len(events)
+        if self._remaining == 0:
+            # Fire at the current instant, but via the queue for determinism.
+            sim.schedule(0.0, self)
+            return
+        for ev in events:
+            ev.add_callback(self._on_child)
+
+    def _on_child(self, _: Event) -> None:
+        self._remaining -= 1
+        if self._remaining == 0 and not self.triggered:
+            self.succeed()
+
+
+class Process(Event):
+    """Drives a generator; each yielded Event suspends the process."""
+
+    def __init__(self, sim: "Simulator", gen: Generator[Event, Any, Any], name: str = "") -> None:
+        super().__init__(sim, name=name or getattr(gen, "__name__", "process"))
+        self._gen = gen
+        # Kick off via the queue so creation order does not leak into
+        # same-instant semantics.
+        start = Event(sim, name=f"{self.name}.start")
+        start.add_callback(self._resume)
+        sim.schedule(0.0, start)
+
+    def _resume(self, fired: Event) -> None:
+        try:
+            target = self._gen.send(fired.value)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        if not isinstance(target, Event):
+            raise TypeError(f"process {self.name} yielded {target!r}, expected Event")
+        target.add_callback(self._resume)
+
+
+class Simulator:
+    """Event heap + clock."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+        self._heap: list[tuple[float, int, Event]] = []
+        self._seq = 0
+
+    def schedule(self, delay: float, event: Event) -> Event:
+        """Arrange for ``event.succeed()`` at ``now + delay``."""
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        self._seq += 1
+        heapq.heappush(self._heap, (self.now + delay, self._seq, event))
+        return event
+
+    def timeout(self, delay: float, name: str = "timeout") -> Event:
+        return self.schedule(delay, Event(self, name=name))
+
+    def event(self, name: str = "") -> Event:
+        return Event(self, name=name)
+
+    def process(self, gen: Generator[Event, Any, Any], name: str = "") -> Process:
+        return Process(self, gen, name=name)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    def run(self, until: float | None = None) -> float:
+        """Drain the heap (optionally up to time ``until``); returns the
+        final clock value."""
+        while self._heap:
+            t, _, event = self._heap[0]
+            if until is not None and t > until:
+                self.now = until
+                return self.now
+            heapq.heappop(self._heap)
+            self.now = t
+            if not event.triggered:  # cancelled/superseded events are skipped
+                event.succeed(event.value)
+        return self.now
+
+    def run_until_process(self, process: Process, limit: float = 1e12) -> float:
+        """Run until ``process`` completes; raises if the heap drains first."""
+        while not process.triggered:
+            if not self._heap:
+                raise RuntimeError(
+                    f"deadlock: process {process.name} never completed "
+                    f"(no events left at t={self.now})"
+                )
+            t, _, event = heapq.heappop(self._heap)
+            if t > limit:
+                raise RuntimeError(f"simulation exceeded time limit {limit}")
+            self.now = t
+            if not event.triggered:
+                event.succeed(event.value)
+        return self.now

@@ -1,0 +1,62 @@
+"""Directed communication link.
+
+Each transfer pays a fixed latency and then streams its bytes through the
+link's shared bandwidth (demand 1.0 — network transfers saturate their
+link, so two concurrent transfers on one link halve each other, as on a
+real Ethernet).  Intra-node links (NVLink/PCIe class) are orders of
+magnitude faster than the paper's 1 Gbps inter-node Ethernet; the
+contrast is what makes 1F1B communication-bound in Figures 2 and 17.
+"""
+
+from __future__ import annotations
+
+from repro.sim.events import Event, Simulator
+from repro.sim.resource import SharedResource
+
+__all__ = ["Link"]
+
+
+class Link:
+    """Directed bandwidth resource with latency (see module docstring)."""
+    def __init__(
+        self,
+        sim: Simulator,
+        src: int,
+        dst: int,
+        bandwidth_bytes_per_sec: float,
+        latency_sec: float = 0.0,
+        name: str | None = None,
+    ) -> None:
+        if bandwidth_bytes_per_sec <= 0:
+            raise ValueError("bandwidth must be positive")
+        if latency_sec < 0:
+            raise ValueError("latency must be non-negative")
+        self.sim = sim
+        self.src = src
+        self.dst = dst
+        self.latency = latency_sec
+        self.bandwidth = bandwidth_bytes_per_sec
+        self.pipe = SharedResource(
+            sim, capacity=bandwidth_bytes_per_sec, name=name or f"link{src}->{dst}"
+        )
+
+    def transfer(self, nbytes: float, name: str = "xfer") -> Event:
+        """Start a transfer now; the event fires on delivery."""
+        if nbytes < 0:
+            raise ValueError(f"negative transfer size {nbytes}")
+        done = self.sim.event(name=f"{self.pipe.name}.{name}")
+        if self.latency == 0.0:
+            return self.pipe.execute(nbytes, demand=1.0, name=name) if nbytes > 0 else self.sim.schedule(0.0, done)
+
+        def start(_: Event) -> None:
+            stream = self.pipe.execute(nbytes, demand=1.0, name=name)
+            stream.add_callback(lambda ev: done.succeed())
+
+        gate = self.sim.event(name=f"{self.pipe.name}.{name}.latency")
+        gate.add_callback(start)
+        self.sim.schedule(self.latency, gate)
+        return done
+
+    def transfer_time_alone(self, nbytes: float) -> float:
+        """Analytic time for a contention-free transfer (used by tuner)."""
+        return self.latency + nbytes / self.bandwidth

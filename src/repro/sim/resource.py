@@ -1,0 +1,153 @@
+"""Generalized processor-sharing resource.
+
+A :class:`SharedResource` has ``capacity`` work-units/second.  Each task
+declares ``work`` (units) and ``demand`` — the fraction of capacity the
+task can extract when running alone (a GPU kernel with low arithmetic
+intensity cannot saturate the device; a network transfer saturates its
+link, demand 1.0).  Concurrent tasks are granted
+
+    rate_i = demand_i * capacity                 if sum(demands) <= 1
+    rate_i = demand_i / sum(demands) * capacity  otherwise
+
+i.e. under-subscribed tasks coexist for free; over-subscription stretches
+everybody proportionally.  This is exactly the utilization model the
+paper's predictor assumes in Equation 2 (the ``max(phi - 1, 0)`` overflow
+integral), so the simulator and the analytic tuner agree by construction
+on *why* parallel pipelines help and when they stop helping.
+
+Completion times are recomputed lazily: whenever membership changes, the
+remaining work of every active task is decayed by the elapsed time at the
+old rates and a fresh completion event is scheduled for the new earliest
+finisher.  Stale completion events are recognized by generation counters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.sim.events import Event, Simulator
+
+__all__ = ["SharedResource"]
+
+_EPS = 1e-12
+
+
+@dataclass
+class _ActiveTask:
+    work_left: float
+    demand: float
+    done: Event
+    rate: float = 0.0
+
+
+class SharedResource:
+    """Capacity shared among concurrent tasks in proportion to demand."""
+
+    def __init__(self, sim: Simulator, capacity: float, name: str = "resource") -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.sim = sim
+        self.capacity = capacity
+        self.name = name
+        self._active: list[_ActiveTask] = []
+        self._last_update = 0.0
+        self._generation = 0
+        # (time, total_granted_demand) steps for utilization traces.
+        self.utilization_steps: list[tuple[float, float]] = [(0.0, 0.0)]
+        self._observers: list[Callable[[float, float], None]] = []
+
+    # ------------------------------------------------------------------ #
+
+    def execute(self, work: float, demand: float, name: str = "task") -> Event:
+        """Submit a task; the returned event fires when it completes."""
+        if work < 0:
+            raise ValueError(f"negative work {work}")
+        if not 0 < demand <= 1.0:
+            raise ValueError(f"demand must be in (0, 1], got {demand}")
+        done = self.sim.event(name=f"{self.name}.{name}")
+        if work == 0:
+            self.sim.schedule(0.0, done)
+            return done
+        self._settle()
+        self._active.append(_ActiveTask(work_left=work, demand=demand, done=done))
+        self._reschedule()
+        return done
+
+    @property
+    def current_demand(self) -> float:
+        """Total granted demand right now (the utilization in [0, 1])."""
+        total = sum(t.demand for t in self._active)
+        return min(total, 1.0)
+
+    def add_observer(self, fn: Callable[[float, float], None]) -> None:
+        """``fn(time, utilization)`` on every utilization change."""
+        self._observers.append(fn)
+
+    # ------------------------------------------------------------------ #
+
+    def _settle(self) -> None:
+        """Decay remaining work by time elapsed at the current rates."""
+        now = self.sim.now
+        dt = now - self._last_update
+        if dt > 0:
+            for task in self._active:
+                task.work_left -= task.rate * dt
+        self._last_update = now
+
+    def _reschedule(self) -> None:
+        """Recompute rates, complete any finished tasks, arm next event."""
+        # Complete tasks whose work is (numerically) exhausted.
+        finished = [t for t in self._active if t.work_left <= _EPS * max(1.0, self.capacity)]
+        if finished:
+            self._active = [t for t in self._active if t not in finished]
+            for task in finished:
+                if not task.done.triggered:
+                    task.done.succeed()
+
+        total_demand = sum(t.demand for t in self._active)
+        scale = 1.0 if total_demand <= 1.0 else 1.0 / total_demand
+        for task in self._active:
+            task.rate = task.demand * scale * self.capacity
+
+        util = min(total_demand, 1.0)
+        if abs(util - self.utilization_steps[-1][1]) > 1e-12 or not self._active:
+            self.utilization_steps.append((self.sim.now, util))
+            for fn in self._observers:
+                fn(self.sim.now, util)
+
+        self._generation += 1
+        if not self._active:
+            return
+        soonest = min(t.work_left / t.rate for t in self._active)
+        generation = self._generation
+        tick = self.sim.event(name=f"{self.name}.tick")
+        tick.add_callback(lambda _: self._on_tick(generation))
+        self.sim.schedule(max(soonest, 0.0), tick)
+
+    def _on_tick(self, generation: int) -> None:
+        if generation != self._generation:
+            return  # superseded by a later membership change
+        self._settle()
+        self._reschedule()
+
+    # ------------------------------------------------------------------ #
+
+    def busy_time(self, horizon: float | None = None) -> float:
+        """Integral of time with utilization > 0 up to ``horizon``."""
+        return self._integrate(lambda u: 1.0 if u > 0 else 0.0, horizon)
+
+    def utilization_integral(self, horizon: float | None = None) -> float:
+        """Integral of the utilization curve (compute volume / capacity)."""
+        return self._integrate(lambda u: u, horizon)
+
+    def _integrate(self, weight: Callable[[float], float], horizon: float | None) -> float:
+        end = self.sim.now if horizon is None else horizon
+        total = 0.0
+        steps = self.utilization_steps
+        for i, (t, u) in enumerate(steps):
+            t_next = steps[i + 1][0] if i + 1 < len(steps) else end
+            t_next = min(t_next, end)
+            if t_next > t:
+                total += (t_next - t) * weight(u)
+        return total

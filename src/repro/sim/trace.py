@@ -1,0 +1,116 @@
+"""Execution tracing: spans, time decomposition and utilization curves.
+
+Each stage process reports what it is doing (computing / blocked on a
+receive whose transfer is in flight / idle waiting on schedule
+dependencies); the recorder aggregates per device into the paper's
+T_gpu / T_com / T_bub decomposition (Equation 1) and renders the
+Figure-2/16 utilization-over-time curves from the device resources'
+step functions.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.sim.cluster import Cluster
+from repro.utils.timeline_render import TimelineSpan, render_gantt
+
+__all__ = ["SpanKind", "TraceRecorder"]
+
+
+class SpanKind(str, enum.Enum):
+    """What a recorded span was doing: fwd/bwd/comm/bubble/sync."""
+    FWD = "fwd"
+    BWD = "bwd"
+    COMM = "comm"  # receive wait that blocks a stage process
+    BUBBLE = "bubble"  # idle wait on upstream/downstream dependencies
+    SYNC = "sync"  # optimizer / allreduce / averaging
+
+
+@dataclass
+class _Span:
+    device: int
+    start: float
+    end: float
+    kind: SpanKind
+    label: str
+
+
+@dataclass
+class TraceRecorder:
+    """Collects spans emitted by runtime processes."""
+
+    spans: list[_Span] = field(default_factory=list)
+
+    def record(self, device: int, start: float, end: float, kind: SpanKind, label: str = "") -> None:
+        if end < start:
+            raise ValueError(f"span ends before it starts: {start} > {end} ({label})")
+        if end > start:
+            self.spans.append(_Span(device, start, end, kind, label))
+
+    # ------------------------------------------------------------------ #
+    # aggregation
+
+    def time_decomposition(self, device: int) -> dict[str, float]:
+        """T_gpu / T_com / T_bub totals for one device (Equation 1)."""
+        out = {"gpu": 0.0, "com": 0.0, "bub": 0.0, "sync": 0.0}
+        for span in self.spans:
+            if span.device != device:
+                continue
+            duration = span.end - span.start
+            if span.kind in (SpanKind.FWD, SpanKind.BWD):
+                out["gpu"] += duration
+            elif span.kind == SpanKind.COMM:
+                out["com"] += duration
+            elif span.kind == SpanKind.BUBBLE:
+                out["bub"] += duration
+            else:
+                out["sync"] += duration
+        return out
+
+    def idle_time(self, device: int) -> float:
+        d = self.time_decomposition(device)
+        return d["com"] + d["bub"]
+
+    def device_busy_interval(self, device: int) -> tuple[float, float]:
+        starts = [s.start for s in self.spans if s.device == device]
+        ends = [s.end for s in self.spans if s.device == device]
+        if not starts:
+            return (0.0, 0.0)
+        return (min(starts), max(ends))
+
+    # ------------------------------------------------------------------ #
+    # utilization (from the device compute resources)
+
+    @staticmethod
+    def average_utilization(cluster: Cluster, horizon: float) -> float:
+        """Mean GPU utilization over all devices up to ``horizon``."""
+        if horizon <= 0:
+            raise ValueError("horizon must be positive")
+        total = sum(d.compute.utilization_integral(horizon) for d in cluster.devices)
+        return total / (horizon * len(cluster.devices))
+
+    @staticmethod
+    def utilization_curve(cluster: Cluster, device: int, horizon: float, samples: int = 200) -> np.ndarray:
+        """Utilization sampled on a uniform grid (Figure 16's series)."""
+        steps = cluster.devices[device].compute.utilization_steps
+        times = np.array([t for t, _ in steps])
+        values = np.array([u for _, u in steps])
+        grid = np.linspace(0.0, horizon, samples, endpoint=False)
+        idx = np.searchsorted(times, grid, side="right") - 1
+        return values[np.clip(idx, 0, len(values) - 1)]
+
+    # ------------------------------------------------------------------ #
+    # rendering
+
+    def render(self, n_devices: int, width: int = 100, end_time: float | None = None) -> str:
+        spans = [
+            TimelineSpan(s.device, s.start, s.end, s.kind.value, s.label)
+            for s in self.spans
+            if s.kind in (SpanKind.FWD, SpanKind.BWD, SpanKind.COMM)
+        ]
+        return render_gantt(spans, n_devices, width=width, end_time=end_time)

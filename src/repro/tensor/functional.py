@@ -1,0 +1,226 @@
+"""Differentiable neural-net primitives built on :class:`~repro.tensor.Tensor`.
+
+These are written against the raw ndarray payloads with hand-derived
+backward closures (rather than composing Tensor arithmetic) where the fused
+form is both faster and numerically safer — e.g. ``log_softmax`` uses the
+max-subtraction trick and a fused gradient.  Every function here is covered
+by ``tests/test_tensor_functional.py`` including numerical gradcheck.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.tensor.tensor import Tensor, _unbroadcast
+
+__all__ = [
+    "relu",
+    "gelu",
+    "tanh",
+    "sigmoid",
+    "softmax",
+    "log_softmax",
+    "layer_norm",
+    "dropout",
+    "embedding_lookup",
+    "cross_entropy",
+    "nll_loss",
+    "cat",
+    "stack",
+    "where",
+]
+
+
+def relu(x: Tensor) -> Tensor:
+    """max(x, 0) with the indicator gradient."""
+    out = np.maximum(x.data, 0)
+    return Tensor._make(out, (x,), lambda g: (g * (x.data > 0),), "relu")
+
+
+_GELU_C = np.sqrt(2.0 / np.pi)
+
+
+def gelu(x: Tensor) -> Tensor:
+    """tanh-approximation GELU (the BERT activation)."""
+    xd = x.data
+    inner = _GELU_C * (xd + 0.044715 * xd**3)
+    t = np.tanh(inner)
+    out = 0.5 * xd * (1.0 + t)
+
+    def backward(g: np.ndarray):
+        dinner = _GELU_C * (1.0 + 3 * 0.044715 * xd**2)
+        dt = (1.0 - t * t) * dinner
+        return (g * (0.5 * (1.0 + t) + 0.5 * xd * dt),)
+
+    return Tensor._make(out, (x,), backward, "gelu")
+
+
+def tanh(x: Tensor) -> Tensor:
+    """Elementwise tanh."""
+    out = np.tanh(x.data)
+    return Tensor._make(out, (x,), lambda g: (g * (1.0 - out * out),), "tanh")
+
+
+def sigmoid(x: Tensor) -> Tensor:
+    """Numerically-stable logistic sigmoid (split by sign)."""
+    out = np.empty_like(x.data)
+    pos = x.data >= 0
+    out[pos] = 1.0 / (1.0 + np.exp(-x.data[pos]))
+    ex = np.exp(x.data[~pos])
+    out[~pos] = ex / (1.0 + ex)
+    return Tensor._make(out, (x,), lambda g: (g * out * (1.0 - out),), "sigmoid")
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Max-shifted softmax along ``axis`` with the fused gradient."""
+    shifted = x.data - x.data.max(axis=axis, keepdims=True)
+    e = np.exp(shifted)
+    out = e / e.sum(axis=axis, keepdims=True)
+
+    def backward(g: np.ndarray):
+        dot = (g * out).sum(axis=axis, keepdims=True)
+        return (out * (g - dot),)
+
+    return Tensor._make(out, (x,), backward, "softmax")
+
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Max-shifted log-softmax along ``axis`` with the fused gradient."""
+    shifted = x.data - x.data.max(axis=axis, keepdims=True)
+    log_z = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
+    out = shifted - log_z
+
+    def backward(g: np.ndarray):
+        soft = np.exp(out)
+        return (g - soft * g.sum(axis=axis, keepdims=True),)
+
+    return Tensor._make(out, (x,), backward, "log_softmax")
+
+
+def layer_norm(x: Tensor, weight: Tensor, bias: Tensor, eps: float = 1e-5) -> Tensor:
+    """Layer normalization over the last dimension with affine transform."""
+    xd = x.data
+    mu = xd.mean(axis=-1, keepdims=True)
+    var = xd.var(axis=-1, keepdims=True)
+    inv = 1.0 / np.sqrt(var + eps)
+    xhat = (xd - mu) * inv
+    out = xhat * weight.data + bias.data
+
+    def backward(g: np.ndarray):
+        n = xd.shape[-1]
+        gw = _unbroadcast(g * xhat, weight.shape)
+        gb = _unbroadcast(g, bias.shape)
+        gx_hat = g * weight.data
+        # Fused layer-norm input gradient.
+        gx = (
+            gx_hat
+            - gx_hat.mean(axis=-1, keepdims=True)
+            - xhat * (gx_hat * xhat).mean(axis=-1, keepdims=True)
+        ) * inv
+        del n
+        return gx, gw, gb
+
+    return Tensor._make(out, (x, weight, bias), backward, "layer_norm")
+
+
+def dropout(x: Tensor, p: float, rng: np.random.Generator, training: bool = True) -> Tensor:
+    """Inverted dropout: scales kept units by 1/(1-p) so eval needs no rescale."""
+    if not 0.0 <= p < 1.0:
+        raise ValueError(f"dropout probability must be in [0, 1), got {p}")
+    if not training or p == 0.0:
+        return x
+    keep = 1.0 - p
+    mask = (rng.random(x.shape) < keep).astype(x.dtype) / keep
+    out = x.data * mask
+    return Tensor._make(out, (x,), lambda g: (g * mask,), "dropout")
+
+
+def embedding_lookup(weight: Tensor, indices: np.ndarray) -> Tensor:
+    """Row gather with scatter-add backward (the Embedding layer kernel)."""
+    idx = np.asarray(indices)
+    if not np.issubdtype(idx.dtype, np.integer):
+        raise TypeError(f"embedding indices must be integers, got {idx.dtype}")
+    out = weight.data[idx]
+
+    def backward(g: np.ndarray):
+        gw = np.zeros_like(weight.data)
+        np.add.at(gw, idx, g)
+        return (gw,)
+
+    return Tensor._make(out, (weight,), backward, "embedding")
+
+
+def nll_loss(log_probs: Tensor, targets: np.ndarray, ignore_index: int | None = None) -> Tensor:
+    """Mean negative log-likelihood over a flattened (N, C) log-prob matrix."""
+    lp = log_probs.data
+    if lp.ndim != 2:
+        raise ValueError(f"nll_loss expects (N, C) log-probs, got shape {lp.shape}")
+    tgt = np.asarray(targets).reshape(-1)
+    if tgt.shape[0] != lp.shape[0]:
+        raise ValueError(f"targets length {tgt.shape[0]} != batch {lp.shape[0]}")
+    if ignore_index is not None:
+        valid = tgt != ignore_index
+        count = max(int(valid.sum()), 1)
+    else:
+        valid = np.ones_like(tgt, dtype=bool)
+        count = tgt.shape[0]
+    rows = np.arange(lp.shape[0])
+    picked = np.where(valid, lp[rows, np.where(valid, tgt, 0)], 0.0)
+    out = np.asarray(-picked.sum() / count, dtype=lp.dtype)
+
+    def backward(g: np.ndarray):
+        gx = np.zeros_like(lp)
+        gx[rows[valid], tgt[valid]] = -1.0 / count
+        return (gx * g,)
+
+    return Tensor._make(out, (log_probs,), backward, "nll_loss")
+
+
+def cross_entropy(logits: Tensor, targets: np.ndarray, ignore_index: int | None = None) -> Tensor:
+    """Softmax + NLL, with logits of shape (..., C) and integer targets."""
+    flat = logits.reshape(-1, logits.shape[-1]) if logits.ndim != 2 else logits
+    return nll_loss(log_softmax(flat, axis=-1), targets, ignore_index=ignore_index)
+
+
+def cat(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
+    """Concatenate tensors along ``axis``; backward splits the gradient."""
+    if not tensors:
+        raise ValueError("cat of empty sequence")
+    datas = [t.data for t in tensors]
+    out = np.concatenate(datas, axis=axis)
+    sizes = [d.shape[axis] for d in datas]
+    splits = np.cumsum(sizes)[:-1]
+
+    def backward(g: np.ndarray):
+        return tuple(np.split(g, splits, axis=axis))
+
+    return Tensor._make(out, tuple(tensors), backward, "cat")
+
+
+def stack(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
+    """Stack tensors along a new ``axis``; backward unstacks."""
+    if not tensors:
+        raise ValueError("stack of empty sequence")
+    out = np.stack([t.data for t in tensors], axis=axis)
+
+    def backward(g: np.ndarray):
+        pieces = np.split(g, len(tensors), axis=axis)
+        return tuple(p.squeeze(axis=axis) for p in pieces)
+
+    return Tensor._make(out, tuple(tensors), backward, "stack")
+
+
+def where(condition: np.ndarray, a: Tensor, b: Tensor) -> Tensor:
+    """Elementwise select by a boolean condition; gradients route by it."""
+    cond = condition.data if isinstance(condition, Tensor) else np.asarray(condition)
+    out = np.where(cond, a.data, b.data)
+
+    def backward(g: np.ndarray):
+        return (
+            _unbroadcast(np.where(cond, g, 0.0), a.shape),
+            _unbroadcast(np.where(cond, 0.0, g), b.shape),
+        )
+
+    return Tensor._make(out, (a, b), backward, "where")

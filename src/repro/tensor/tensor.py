@@ -1,0 +1,472 @@
+"""Reverse-mode autodiff tensor.
+
+Design notes
+------------
+* The graph is a DAG of :class:`Tensor` nodes; each non-leaf holds the
+  tuple of parents it was computed from and a closure that maps the output
+  gradient to parent gradients.  ``backward()`` walks the DAG in reverse
+  topological order, accumulating into ``.grad`` ndarrays (not Tensors —
+  gradients are data, never differentiated through, which matches the
+  first-order use in the paper).
+* Broadcasting follows NumPy semantics; :func:`_unbroadcast` reduces an
+  upstream gradient back to a parent's shape by summing over broadcast
+  axes.  This is where most hand-rolled engines go wrong, so it is
+  property-tested against numerical gradients.
+* A module-level ``no_grad`` switch disables graph construction for
+  inference and for optimizer/averaging updates, keeping those updates out
+  of autograd history exactly like ``torch.no_grad()``.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import threading
+from typing import Any, Callable, Iterable, Sequence
+
+import numpy as np
+
+__all__ = ["Tensor", "no_grad", "tensor", "zeros", "ones", "full", "arange"]
+
+DEFAULT_DTYPE = np.float32
+
+_state = threading.local()
+
+
+def _grad_enabled() -> bool:
+    return getattr(_state, "grad_enabled", True)
+
+
+@contextlib.contextmanager
+def no_grad():
+    """Context manager disabling autograd graph construction."""
+    prev = _grad_enabled()
+    _state.grad_enabled = False
+    try:
+        yield
+    finally:
+        _state.grad_enabled = prev
+
+
+def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
+    """Sum ``grad`` down to ``shape`` (inverse of NumPy broadcasting)."""
+    if grad.shape == shape:
+        return grad
+    # Remove leading broadcast dimensions.
+    extra = grad.ndim - len(shape)
+    if extra > 0:
+        grad = grad.sum(axis=tuple(range(extra)))
+    # Sum along axes that were 1 in the original shape.
+    axes = tuple(i for i, s in enumerate(shape) if s == 1 and grad.shape[i] != 1)
+    if axes:
+        grad = grad.sum(axis=axes, keepdims=True)
+    return grad.reshape(shape)
+
+
+def _as_array(value: Any, dtype=None) -> np.ndarray:
+    if isinstance(value, Tensor):
+        raise TypeError("expected raw data, got Tensor (use .data)")
+    arr = np.asarray(value, dtype=dtype)
+    if arr.dtype == np.float64 and dtype is None:
+        arr = arr.astype(DEFAULT_DTYPE)
+    return arr
+
+
+class Tensor:
+    """An ndarray with an optional autograd history.
+
+    Parameters
+    ----------
+    data:
+        Array-like payload.  Floating data defaults to float32.
+    requires_grad:
+        Whether gradients should be accumulated into ``.grad``.
+    """
+
+    __slots__ = ("data", "grad", "requires_grad", "_parents", "_backward_fn", "_op")
+
+    def __init__(
+        self,
+        data: Any,
+        requires_grad: bool = False,
+        _parents: tuple["Tensor", ...] = (),
+        _backward_fn: Callable[[np.ndarray], Sequence[np.ndarray | None]] | None = None,
+        _op: str = "",
+    ) -> None:
+        self.data = data if isinstance(data, np.ndarray) else _as_array(data)
+        if requires_grad and not np.issubdtype(self.data.dtype, np.floating):
+            raise TypeError(f"only floating tensors can require grad, got {self.data.dtype}")
+        self.requires_grad = bool(requires_grad)
+        self.grad: np.ndarray | None = None
+        self._parents = _parents
+        self._backward_fn = _backward_fn
+        self._op = _op
+
+    # ------------------------------------------------------------------ #
+    # basic introspection
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    @property
+    def dtype(self):
+        return self.data.dtype
+
+    @property
+    def is_leaf(self) -> bool:
+        return self._backward_fn is None
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def __repr__(self) -> str:
+        grad_flag = ", requires_grad=True" if self.requires_grad else ""
+        op = f", op={self._op!r}" if self._op else ""
+        return f"Tensor({np.array2string(self.data, precision=4, threshold=8)}{grad_flag}{op})"
+
+    def item(self) -> float:
+        return float(self.data.reshape(-1)[0]) if self.data.size == 1 else self._item_err()
+
+    def _item_err(self):
+        raise ValueError(f"item() on tensor of size {self.data.size}")
+
+    def numpy(self) -> np.ndarray:
+        """The underlying ndarray (a view; callers must not mutate)."""
+        return self.data
+
+    def detach(self) -> "Tensor":
+        return Tensor(self.data, requires_grad=False)
+
+    def copy(self) -> "Tensor":
+        return Tensor(self.data.copy(), requires_grad=self.requires_grad)
+
+    def zero_grad(self) -> None:
+        self.grad = None
+
+    # ------------------------------------------------------------------ #
+    # graph construction
+
+    @staticmethod
+    def _make(
+        data: np.ndarray,
+        parents: tuple["Tensor", ...],
+        backward_fn: Callable[[np.ndarray], Sequence[np.ndarray | None]],
+        op: str,
+    ) -> "Tensor":
+        requires = _grad_enabled() and any(p.requires_grad for p in parents)
+        if not requires:
+            return Tensor(data)
+        return Tensor(data, requires_grad=True, _parents=parents, _backward_fn=backward_fn, _op=op)
+
+    def backward(self, grad: np.ndarray | None = None) -> None:
+        """Backpropagate from this tensor through its history."""
+        if not self.requires_grad:
+            raise RuntimeError("backward() on tensor that does not require grad")
+        if grad is None:
+            if self.data.size != 1:
+                raise RuntimeError("grad must be provided for non-scalar backward()")
+            grad = np.ones_like(self.data)
+        grad = np.asarray(grad, dtype=self.data.dtype)
+        if grad.shape != self.data.shape:
+            raise ValueError(f"grad shape {grad.shape} != tensor shape {self.data.shape}")
+
+        order: list[Tensor] = []
+        seen: set[int] = set()
+        stack: list[tuple[Tensor, bool]] = [(self, False)]
+        while stack:  # iterative topo sort; deep LSTM graphs overflow recursion
+            node, processed = stack.pop()
+            if processed:
+                order.append(node)
+                continue
+            if id(node) in seen:
+                continue
+            seen.add(id(node))
+            stack.append((node, True))
+            for parent in node._parents:
+                if parent.requires_grad and id(parent) not in seen:
+                    stack.append((parent, False))
+
+        grads: dict[int, np.ndarray] = {id(self): grad}
+        for node in reversed(order):
+            node_grad = grads.pop(id(node), None)
+            if node_grad is None:
+                continue
+            if node._backward_fn is None:
+                node.grad = node_grad if node.grad is None else node.grad + node_grad
+                continue
+            parent_grads = node._backward_fn(node_grad)
+            for parent, pgrad in zip(node._parents, parent_grads):
+                if pgrad is None or not parent.requires_grad:
+                    continue
+                pgrad = np.asarray(pgrad, dtype=parent.data.dtype)
+                key = id(parent)
+                if key in grads:
+                    grads[key] = grads[key] + pgrad
+                else:
+                    grads[key] = pgrad
+
+    # ------------------------------------------------------------------ #
+    # arithmetic
+
+    def _coerce(self, other: Any) -> "Tensor":
+        if isinstance(other, Tensor):
+            return other
+        return Tensor(np.asarray(other, dtype=self.data.dtype))
+
+    def __add__(self, other: Any) -> "Tensor":
+        other = self._coerce(other)
+        out = self.data + other.data
+
+        def backward(g: np.ndarray):
+            return _unbroadcast(g, self.shape), _unbroadcast(g, other.shape)
+
+        return Tensor._make(out, (self, other), backward, "add")
+
+    __radd__ = __add__
+
+    def __neg__(self) -> "Tensor":
+        return Tensor._make(-self.data, (self,), lambda g: (-g,), "neg")
+
+    def __sub__(self, other: Any) -> "Tensor":
+        other = self._coerce(other)
+        out = self.data - other.data
+
+        def backward(g: np.ndarray):
+            return _unbroadcast(g, self.shape), _unbroadcast(-g, other.shape)
+
+        return Tensor._make(out, (self, other), backward, "sub")
+
+    def __rsub__(self, other: Any) -> "Tensor":
+        return self._coerce(other) - self
+
+    def __mul__(self, other: Any) -> "Tensor":
+        other = self._coerce(other)
+        out = self.data * other.data
+
+        def backward(g: np.ndarray):
+            return (
+                _unbroadcast(g * other.data, self.shape),
+                _unbroadcast(g * self.data, other.shape),
+            )
+
+        return Tensor._make(out, (self, other), backward, "mul")
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other: Any) -> "Tensor":
+        other = self._coerce(other)
+        out = self.data / other.data
+
+        def backward(g: np.ndarray):
+            return (
+                _unbroadcast(g / other.data, self.shape),
+                _unbroadcast(-g * self.data / (other.data * other.data), other.shape),
+            )
+
+        return Tensor._make(out, (self, other), backward, "div")
+
+    def __rtruediv__(self, other: Any) -> "Tensor":
+        return self._coerce(other) / self
+
+    def __pow__(self, exponent: float) -> "Tensor":
+        if isinstance(exponent, Tensor):
+            raise TypeError("tensor exponents are not supported")
+        out = self.data**exponent
+
+        def backward(g: np.ndarray):
+            return (g * exponent * self.data ** (exponent - 1),)
+
+        return Tensor._make(out, (self,), backward, "pow")
+
+    def __matmul__(self, other: "Tensor") -> "Tensor":
+        other = self._coerce(other)
+        out = self.data @ other.data
+
+        def backward(g: np.ndarray):
+            a, b = self.data, other.data
+            if a.ndim == 1 and b.ndim == 1:  # inner product
+                return g * b, g * a
+            if a.ndim == 1:  # (k,) @ (..., k, n)
+                ga = (g[..., None, :] * b).sum(axis=-1)
+                ga = _unbroadcast(ga, a.shape)
+                gb = _unbroadcast(a[..., :, None] * g[..., None, :], b.shape)
+                return ga, gb
+            if b.ndim == 1:  # (..., m, k) @ (k,)
+                ga = g[..., :, None] * b
+                ga = _unbroadcast(ga, a.shape)
+                gb = _unbroadcast((a * g[..., :, None]).sum(axis=tuple(range(a.ndim - 1))), b.shape)
+                return ga, gb
+            ga = _unbroadcast(g @ np.swapaxes(b, -1, -2), a.shape)
+            gb = _unbroadcast(np.swapaxes(a, -1, -2) @ g, b.shape)
+            return ga, gb
+
+        return Tensor._make(out, (self, other), backward, "matmul")
+
+    # ------------------------------------------------------------------ #
+    # elementwise math
+
+    def exp(self) -> "Tensor":
+        out = np.exp(self.data)
+        return Tensor._make(out, (self,), lambda g: (g * out,), "exp")
+
+    def log(self) -> "Tensor":
+        out = np.log(self.data)
+        return Tensor._make(out, (self,), lambda g: (g / self.data,), "log")
+
+    def sqrt(self) -> "Tensor":
+        out = np.sqrt(self.data)
+        return Tensor._make(out, (self,), lambda g: (g * 0.5 / out,), "sqrt")
+
+    def abs(self) -> "Tensor":
+        out = np.abs(self.data)
+        return Tensor._make(out, (self,), lambda g: (g * np.sign(self.data),), "abs")
+
+    def clip(self, lo: float, hi: float) -> "Tensor":
+        out = np.clip(self.data, lo, hi)
+        mask = (self.data >= lo) & (self.data <= hi)
+        return Tensor._make(out, (self,), lambda g: (g * mask,), "clip")
+
+    # ------------------------------------------------------------------ #
+    # reductions
+
+    def sum(self, axis: int | tuple[int, ...] | None = None, keepdims: bool = False) -> "Tensor":
+        out = self.data.sum(axis=axis, keepdims=keepdims)
+
+        def backward(g: np.ndarray):
+            if axis is None:
+                return (np.broadcast_to(g, self.shape).copy(),)
+            g_exp = g
+            if not keepdims:
+                axes = (axis,) if isinstance(axis, int) else axis
+                for ax in sorted(a % self.ndim for a in axes):
+                    g_exp = np.expand_dims(g_exp, ax)
+            return (np.broadcast_to(g_exp, self.shape).copy(),)
+
+        return Tensor._make(np.asarray(out), (self,), backward, "sum")
+
+    def mean(self, axis: int | tuple[int, ...] | None = None, keepdims: bool = False) -> "Tensor":
+        if axis is None:
+            count = self.data.size
+        else:
+            axes = (axis,) if isinstance(axis, int) else axis
+            count = int(np.prod([self.shape[a % self.ndim] for a in axes]))
+        return self.sum(axis=axis, keepdims=keepdims) * (1.0 / count)
+
+    def max(self, axis: int | None = None, keepdims: bool = False) -> "Tensor":
+        out = self.data.max(axis=axis, keepdims=keepdims)
+
+        def backward(g: np.ndarray):
+            if axis is None:
+                mask = (self.data == out).astype(self.data.dtype)
+                mask /= mask.sum()
+                return (mask * g,)
+            out_keep = self.data.max(axis=axis, keepdims=True)
+            mask = (self.data == out_keep).astype(self.data.dtype)
+            mask /= mask.sum(axis=axis, keepdims=True)
+            g_exp = g if keepdims else np.expand_dims(g, axis)
+            return (mask * g_exp,)
+
+        return Tensor._make(np.asarray(out), (self,), backward, "max")
+
+    def var(self, axis: int | None = None, keepdims: bool = False) -> "Tensor":
+        mu = self.mean(axis=axis, keepdims=True)
+        sq = (self - mu) * (self - mu)
+        return sq.mean(axis=axis, keepdims=keepdims)
+
+    # ------------------------------------------------------------------ #
+    # shape ops
+
+    def reshape(self, *shape: int) -> "Tensor":
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        out = self.data.reshape(shape)
+        return Tensor._make(out, (self,), lambda g: (g.reshape(self.shape),), "reshape")
+
+    def transpose(self, *axes: int) -> "Tensor":
+        if not axes:
+            axes = tuple(reversed(range(self.ndim)))
+        inverse = np.argsort(axes)
+        out = self.data.transpose(axes)
+        return Tensor._make(out, (self,), lambda g: (g.transpose(inverse),), "transpose")
+
+    def swapaxes(self, a: int, b: int) -> "Tensor":
+        out = np.swapaxes(self.data, a, b)
+        return Tensor._make(out, (self,), lambda g: (np.swapaxes(g, a, b),), "swapaxes")
+
+    @property
+    def T(self) -> "Tensor":
+        return self.transpose()
+
+    def __getitem__(self, index: Any) -> "Tensor":
+        if isinstance(index, Tensor):
+            index = index.data
+        out = self.data[index]
+
+        def backward(g: np.ndarray):
+            full = np.zeros_like(self.data)
+            np.add.at(full, index, g)
+            return (full,)
+
+        return Tensor._make(np.asarray(out), (self,), backward, "getitem")
+
+    def squeeze(self, axis: int | None = None) -> "Tensor":
+        out = self.data.squeeze(axis=axis)
+        return Tensor._make(out, (self,), lambda g: (g.reshape(self.shape),), "squeeze")
+
+    def unsqueeze(self, axis: int) -> "Tensor":
+        out = np.expand_dims(self.data, axis)
+        return Tensor._make(out, (self,), lambda g: (g.reshape(self.shape),), "unsqueeze")
+
+    def broadcast_to(self, shape: tuple[int, ...]) -> "Tensor":
+        out = np.broadcast_to(self.data, shape)
+        return Tensor._make(out.copy(), (self,), lambda g: (_unbroadcast(g, self.shape),), "bcast")
+
+    # ------------------------------------------------------------------ #
+    # comparison helpers (non-differentiable, return plain arrays)
+
+    def argmax(self, axis: int | None = None) -> np.ndarray:
+        return self.data.argmax(axis=axis)
+
+    def __eq__(self, other: Any):  # type: ignore[override]
+        other_data = other.data if isinstance(other, Tensor) else other
+        return self.data == other_data
+
+    def __hash__(self) -> int:
+        return id(self)
+
+
+# ---------------------------------------------------------------------- #
+# constructors
+
+
+def tensor(data: Any, requires_grad: bool = False, dtype=None) -> Tensor:
+    """Construct a Tensor from array-like data."""
+    return Tensor(_as_array(data, dtype=dtype), requires_grad=requires_grad)
+
+
+def zeros(*shape: int, requires_grad: bool = False, dtype=DEFAULT_DTYPE) -> Tensor:
+    """A zero-filled Tensor of the given shape."""
+    return Tensor(np.zeros(shape, dtype=dtype), requires_grad=requires_grad)
+
+
+def ones(*shape: int, requires_grad: bool = False, dtype=DEFAULT_DTYPE) -> Tensor:
+    """A one-filled Tensor of the given shape."""
+    return Tensor(np.ones(shape, dtype=dtype), requires_grad=requires_grad)
+
+
+def full(shape: tuple[int, ...], value: float, requires_grad: bool = False, dtype=DEFAULT_DTYPE) -> Tensor:
+    """A constant-filled Tensor of the given shape."""
+    return Tensor(np.full(shape, value, dtype=dtype), requires_grad=requires_grad)
+
+
+def arange(*args: int, dtype=DEFAULT_DTYPE) -> Tensor:
+    """Like numpy.arange, as a Tensor."""
+    return Tensor(np.arange(*args, dtype=dtype))

@@ -1,0 +1,18 @@
+"""Shared utilities: deterministic seeding, run statistics, table/Gantt rendering."""
+
+from repro.utils.seeding import SeedSequence, derive_rng, set_global_seed
+from repro.utils.stats import RunningMean, RunningStat, geometric_mean, speedup
+from repro.utils.tables import format_table
+from repro.utils.timeline_render import render_gantt
+
+__all__ = [
+    "SeedSequence",
+    "derive_rng",
+    "set_global_seed",
+    "RunningMean",
+    "RunningStat",
+    "geometric_mean",
+    "speedup",
+    "format_table",
+    "render_gantt",
+]

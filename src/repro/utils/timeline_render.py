@@ -1,0 +1,67 @@
+"""ASCII Gantt rendering of simulator timelines.
+
+Reproduces the visual layout of the paper's Figures 1, 2 and 7: one row
+per device, forward cells as the micro-batch id, backward cells as the id
+with a backtick, communication as ``~`` and idle as ``.``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, NamedTuple
+
+__all__ = ["render_gantt", "TimelineSpan"]
+
+
+class TimelineSpan(NamedTuple):
+    """One occupied interval on a device row."""
+
+    device: int
+    start: float
+    end: float
+    kind: str  # "fwd" | "bwd" | "comm" | other
+    label: str
+
+
+_KIND_FILL = {"fwd": None, "bwd": None, "comm": "~"}
+
+
+def render_gantt(
+    spans: Iterable[TimelineSpan],
+    n_devices: int,
+    width: int = 100,
+    end_time: float | None = None,
+    device_names: Mapping[int, str] | None = None,
+) -> str:
+    """Render ``spans`` into a ``width``-column ASCII chart.
+
+    Spans may overlap (processor sharing); later spans overwrite earlier
+    ones in the render, which is fine for eyeballing schedule structure.
+    """
+    spans = list(spans)
+    if not spans:
+        return "(empty timeline)"
+    horizon = end_time if end_time is not None else max(s.end for s in spans)
+    if horizon <= 0:
+        raise ValueError("timeline horizon must be positive")
+    rows = [["."] * width for _ in range(n_devices)]
+    scale = width / horizon
+    for span in sorted(spans, key=lambda s: s.start):
+        if span.device < 0 or span.device >= n_devices:
+            raise ValueError(f"span device {span.device} outside 0..{n_devices - 1}")
+        lo = int(span.start * scale)
+        hi = max(lo + 1, int(span.end * scale))
+        fill = _KIND_FILL.get(span.kind, "#")
+        if fill is None:
+            text = span.label if span.kind == "fwd" else span.label + "`"
+            for i, col in enumerate(range(lo, min(hi, width))):
+                rows[span.device][col] = text[i % len(text)] if text else "#"
+        else:
+            for col in range(lo, min(hi, width)):
+                rows[span.device][col] = fill
+    names = device_names or {}
+    out = []
+    for dev in range(n_devices):
+        name = names.get(dev, f"GPU {dev + 1}")
+        out.append(f"{name:>8} |" + "".join(rows[dev]) + "|")
+    out.append(f"{'':>8}  0" + " " * (width - 8) + f"t={horizon:.3g}")
+    return "\n".join(out)

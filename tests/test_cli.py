@@ -1,0 +1,52 @@
+"""CLI: parser wiring and the fast commands end to end."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_plan_defaults(self):
+        args = build_parser().parse_args(["plan", "awd"])
+        assert args.workload == "awd"
+        assert args.max_pipelines == 4
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["plan", "resnet"])
+
+    def test_timeline_defaults(self):
+        args = build_parser().parse_args(["timeline"])
+        assert args.schedule == "advance_fp"
+        assert args.micro == 8
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestCommands:
+    def test_timeline_renders(self, capsys):
+        code = main(["timeline", "--workload", "awd", "--schedule", "1f1b", "--micro", "4"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "GPU 1" in out
+        assert "iteration time" in out
+
+    def test_plan_awd(self, capsys):
+        code = main(["plan", "awd", "--iterations", "1", "--max-pipelines", "2"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "parallel pipelines" in out
+        assert "time per batch" in out
+
+    def test_figure_unknown(self, capsys):
+        code = main(["figure", "fig99"])
+        assert code == 2
+        assert "unknown figure" in capsys.readouterr().out
+
+    def test_figure_fig07(self, capsys):
+        code = main(["figure", "fig07"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "fig07" in out

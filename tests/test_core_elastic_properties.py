@@ -1,0 +1,127 @@
+"""Property-based tests on the elastic-averaging framework.
+
+Random update sequences; the invariants:
+
+* the dilution is a contraction — after commit, each model is strictly
+  closer to the (pre-commit) reference than its post-optimizer position;
+* the reference is translation-equivariant — shifting every model and
+  the updates by a constant shifts the whole trajectory by it;
+* "sum" normalization advances the reference exactly N times "mean";
+* divergence stays bounded under bounded updates (no drift blow-up).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import ElasticAveragingFramework
+from repro.models.pipeline_model import ActivationBundle, PipelineLayer, PipelineModel
+from repro.nn import Linear
+
+
+class _Probe(PipelineLayer):
+    """Minimal one-layer pipeline model for framework math tests."""
+
+    def __init__(self, dim: int = 4) -> None:
+        super().__init__()
+        self.fc = Linear(dim, dim, bias=False)
+
+    def forward(self, bundle: ActivationBundle) -> ActivationBundle:
+        return bundle
+
+    def flops_per_sample(self) -> float:
+        return 1.0
+
+    def activation_floats_per_sample(self) -> float:
+        return 1.0
+
+
+def make_framework(n, alpha=None, seed=0, **kwargs):
+    models = [PipelineModel(layers=[_Probe()], name="probe") for _ in range(n)]
+    base = models[0].state_dict()
+    for m in models[1:]:
+        m.load_state_dict(base)
+    return ElasticAveragingFramework(models, alpha=alpha, queue_delay=0, **kwargs), models
+
+
+def apply_updates(framework, models, updates):
+    for i, (model, upd) in enumerate(zip(models, updates)):
+        before = framework.capture(i)
+        for _, p in model.named_parameters():
+            p.data = p.data + upd.astype(np.float32)
+        framework.commit(i, before)
+    framework.end_iteration()
+
+
+updates_strategy = st.lists(
+    st.floats(-1.0, 1.0).filter(lambda x: abs(x) > 1e-3), min_size=2, max_size=4
+)
+
+
+@settings(max_examples=30, deadline=None)
+@given(updates=updates_strategy, alpha=st.floats(0.05, 0.95))
+def test_dilution_is_a_contraction(updates, alpha):
+    framework, models = make_framework(len(updates), alpha=alpha)
+    ref_before = {k: v.copy() for k, v in framework.reference.items()}
+    for i, (model, upd) in enumerate(zip(models, updates)):
+        before = framework.capture(i)
+        for _, p in model.named_parameters():
+            p.data = p.data + np.float32(upd)
+        post_opt = {k: v.copy() for k, v in model.state_dict().items()}
+        framework.commit(i, before)
+        for name, p in model.named_parameters():
+            dist_before = np.abs(post_opt[name] - ref_before[name]).max()
+            dist_after = np.abs(p.data - ref_before[name]).max()
+            assert dist_after <= dist_before * (1 - alpha) + 1e-5
+
+
+@settings(max_examples=20, deadline=None)
+@given(updates=updates_strategy, shift=st.floats(-2.0, 2.0))
+def test_translation_equivariance(updates, shift):
+    f1, m1 = make_framework(len(updates))
+    f2, m2 = make_framework(len(updates))
+    for model in m2:
+        for _, p in model.named_parameters():
+            p.data = p.data + np.float32(shift)
+    for name in f2.reference:
+        f2.reference[name] = f2.reference[name] + np.float32(shift)
+    ups = [np.float32(u) for u in updates]
+    apply_updates(f1, m1, ups)
+    apply_updates(f2, m2, ups)
+    for name in f1.reference:
+        assert np.allclose(f2.reference[name], f1.reference[name] + shift, atol=1e-4)
+    for a, b in zip(m1, m2):
+        sa, sb = a.state_dict(), b.state_dict()
+        for k in sa:
+            assert np.allclose(sb[k], sa[k] + shift, atol=1e-4)
+
+
+@settings(max_examples=20, deadline=None)
+@given(updates=updates_strategy)
+def test_sum_is_n_times_mean_on_the_reference(updates):
+    n = len(updates)
+    ups = [np.float32(u) for u in updates]
+    f_mean, m_mean = make_framework(n, update_normalization="mean")
+    f_sum, m_sum = make_framework(n, update_normalization="sum")
+    ref0 = {k: v.copy() for k, v in f_mean.reference.items()}
+    apply_updates(f_mean, m_mean, ups)
+    apply_updates(f_sum, m_sum, ups)
+    for name in ref0:
+        step_mean = f_mean.reference[name] - ref0[name]
+        step_sum = f_sum.reference[name] - ref0[name]
+        assert np.allclose(step_sum, n * step_mean, atol=1e-4)
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 1000))
+def test_divergence_bounded_under_bounded_updates(seed):
+    rng = np.random.default_rng(seed)
+    framework, models = make_framework(3, alpha=1.0 / 3.0)
+    divergences = []
+    for _ in range(15):
+        ups = [rng.uniform(-0.1, 0.1) for _ in models]
+        apply_updates(framework, models, [np.float32(u) for u in ups])
+        divergences.append(framework.divergence())
+    # With |update| <= 0.1 and alpha = 1/3 the stationary divergence is
+    # O(|update| / alpha); allow generous slack but forbid blow-up.
+    assert max(divergences[5:]) < 1.0

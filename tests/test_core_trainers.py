@@ -1,0 +1,163 @@
+"""Trainer update semantics: sync, delayed (PipeDream), 2BW lag, AvgPipe."""
+
+import numpy as np
+import pytest
+
+from repro.core.trainer import (
+    AvgPipeTrainer,
+    PipeDream2BWTrainer,
+    PipeDreamTrainer,
+    SyncTrainer,
+    _split_batch,
+)
+from repro.models.registry import WorkloadSpec
+from repro.models import AWDConfig, build_awd_lstm
+from repro.optim import SGD
+
+
+def tiny_awd_spec(target=0.0, batch_size=8) -> WorkloadSpec:
+    """A fast AWD-style workload for trainer mechanics tests.
+
+    Uses a low-entropy Markov corpus so the loss has learnable headroom
+    below its ~0.9-nat entropy floor (uniform noise would pin every
+    trainer at ln(V) and make progress assertions meaningless).
+    """
+    cfg = AWDConfig(vocab_size=10, embed_dim=8, hidden_dim=10, num_layers=1, bptt=6,
+                    dropout=0.0, weight_drop=0.0)
+    from repro.data import LMConfig, make_lm_corpus
+
+    tokens, _, _ = make_lm_corpus(LMConfig(corpus_len=700, vocab_size=10, branching=2, seed=2))
+
+    from repro.data import batchify_lm
+
+    def loader(bs, seed):
+        return batchify_lm(tokens, batch_size=bs, bptt=cfg.bptt)
+
+    def evaluate(model):
+        batches = batchify_lm(tokens[:200], batch_size=4, bptt=cfg.bptt)
+        from repro.tensor import no_grad
+        model.eval()
+        with no_grad():
+            loss = float(np.mean([model.loss(b).item() for b in batches]))
+        model.train()
+        return loss
+
+    return WorkloadSpec(
+        name="tiny-awd",
+        build_model=lambda: build_awd_lstm(cfg),
+        make_train_loader=loader,
+        evaluate=evaluate,
+        make_optimizer=lambda m: SGD(m.parameters(), lr=0.5),
+        target=target,
+        metric_mode="min",
+        metric_name="loss",
+        batch_size=batch_size,
+        paper_devices=4,
+    )
+
+
+class TestSplitBatch:
+    def test_even(self):
+        micros = _split_batch({"x": np.arange(8)}, 4)
+        assert [len(m["x"]) for m in micros] == [2, 2, 2, 2]
+
+    def test_uneven_keeps_all_samples(self):
+        micros = _split_batch({"x": np.arange(10)}, 4)
+        assert sum(len(m["x"]) for m in micros) == 10
+
+    def test_more_micro_than_samples(self):
+        micros = _split_batch({"x": np.arange(2)}, 8)
+        assert len(micros) == 2
+
+
+class TestSyncTrainer:
+    def test_trains_and_records_history(self):
+        result = SyncTrainer(tiny_awd_spec(), seed=0, max_epochs=2).train()
+        assert result.epochs_run == 2
+        assert len(result.metric_history) == 2
+        assert result.metric_history[1] <= result.metric_history[0] + 0.1
+
+    def test_stops_at_target(self):
+        result = SyncTrainer(tiny_awd_spec(target=5.0), seed=0, max_epochs=5).train()
+        # a lenient loss target of 5.0 nats should be hit immediately
+        assert result.reached_target
+        assert result.epochs_to_target <= 5
+
+
+class TestPipeDreamTrainer:
+    def test_delayed_updates_converge_but_run(self):
+        result = PipeDreamTrainer(tiny_awd_spec(), seed=0, max_epochs=2, num_stages=4).train()
+        assert result.epochs_run == 2
+        assert np.isfinite(result.final_metric)
+
+    def test_delay_zero_matches_sync_numerics(self):
+        """With delay 0 and one micro-batch, PipeDream IS sync training."""
+        spec = tiny_awd_spec()
+        sync = SyncTrainer(spec, seed=0, max_epochs=1)
+        pd = PipeDreamTrainer(spec, seed=0, max_epochs=1, num_stages=1, num_micro=1)
+        rs = sync.train()
+        rp = pd.train()
+        assert rp.final_metric == pytest.approx(rs.final_metric, rel=1e-5)
+
+    def test_larger_delay_hurts_or_matches_progress(self):
+        spec = tiny_awd_spec()
+        small = PipeDreamTrainer(spec, seed=0, max_epochs=2, num_stages=2).train()
+        large = PipeDreamTrainer(spec, seed=0, max_epochs=2, num_stages=24).train()
+        assert large.final_metric >= small.final_metric - 0.05
+
+
+class TestPipeDream2BW:
+    def test_one_batch_lag_first_batch_noop(self):
+        """The very first batch's gradient is applied at batch 2; after one
+        single batch the weights are unchanged."""
+        spec = tiny_awd_spec(batch_size=96)  # single batch per epoch
+        trainer = PipeDream2BWTrainer(spec, seed=0, max_epochs=1)
+        before = trainer.model.state_dict()
+        trainer.train()
+        after = trainer.model.state_dict()
+        changed = any(not np.array_equal(before[k], after[k]) for k in before)
+        loader = spec.make_train_loader(96, 0)
+        if len(loader) == 1:
+            assert not changed
+        else:
+            assert changed
+
+    def test_trains(self):
+        result = PipeDream2BWTrainer(tiny_awd_spec(), seed=0, max_epochs=3).train()
+        assert result.metric_history[-1] <= result.metric_history[0] + 0.1
+
+
+class TestAvgPipeTrainer:
+    def test_parallel_models_start_identical(self):
+        trainer = AvgPipeTrainer(tiny_awd_spec(), seed=0, num_pipelines=3)
+        s0 = trainer.models[0].state_dict()
+        for m in trainer.models[1:]:
+            s = m.state_dict()
+            assert all(np.array_equal(s0[k], s[k]) for k in s0)
+
+    def test_trains_and_evaluates_reference(self):
+        result = AvgPipeTrainer(tiny_awd_spec(), seed=0, max_epochs=2, num_pipelines=2).train()
+        assert result.epochs_run == 2
+        assert np.isfinite(result.final_metric)
+        assert result.metric_history[-1] <= result.metric_history[0] + 0.1
+
+    def test_single_pipeline_close_to_sync(self):
+        """N=1 AvgPipe is sync training plus a self-pull (alpha=1): with
+        alpha=0 it must match sync exactly."""
+        spec = tiny_awd_spec()
+        sync = SyncTrainer(spec, seed=0, max_epochs=1).train()
+        avg = AvgPipeTrainer(spec, seed=0, max_epochs=1, num_pipelines=1, alpha=0.0).train()
+        assert avg.final_metric == pytest.approx(sync.final_metric, rel=1e-5)
+
+    def test_statistical_efficiency_comparable_to_sync(self):
+        """Figure 14's claim at miniature scale: AvgPipe's epochs-to-target
+        within 2x of sync on the same task."""
+        spec = tiny_awd_spec(target=1.45)
+        sync = SyncTrainer(spec, seed=0, max_epochs=12).train()
+        avg = AvgPipeTrainer(spec, seed=0, max_epochs=24, num_pipelines=2).train()
+        assert sync.reached_target and avg.reached_target
+        assert avg.epochs_to_target <= 2 * sync.epochs_to_target + 1
+
+    def test_invalid_pipeline_count(self):
+        with pytest.raises(ValueError):
+            AvgPipeTrainer(tiny_awd_spec(), num_pipelines=0)

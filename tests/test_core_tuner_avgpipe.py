@@ -1,0 +1,134 @@
+"""Tuners (§5, Figures 18-19) and the AvgPipe facade end to end."""
+
+import numpy as np
+import pytest
+
+from repro.core import AvgPipe, GuidelineTuner, ProfilingTuner, TraversalTuner
+from repro.core.simcfg import calibration_for
+from repro.core.tuner import default_m_candidates
+from repro.baselines import BASELINE_SYSTEMS, choose_baseline_micro, simulate_baseline
+
+from tests.test_core_predictor import make_profiler
+
+
+class TestCandidateGrid:
+    def test_default_m_candidates_divide_batch(self):
+        for batch in (32, 40, 128):
+            for m in default_m_candidates(batch):
+                assert batch % m == 0
+
+    def test_includes_extremes(self):
+        cands = default_m_candidates(64)
+        assert 1 in cands and 64 in cands
+
+
+class TestProfilingVsTraversal:
+    def test_profiling_much_cheaper_than_traversal(self):
+        """Figure 18's claim: profiling cost is a small fraction of the
+        traversal cost (paper: minutes vs hours)."""
+        profiler = make_profiler()
+        limit = 8 * 2**30
+        prof = ProfilingTuner(profiler, limit).tune(n_candidates=[1, 2, 3])
+        trav = TraversalTuner(profiler, limit).tune(n_candidates=[1, 2, 3])
+        assert prof.tuning_cost < trav.tuning_cost / 5
+
+    def test_profiling_close_to_traversal_quality(self):
+        """Figure 19's claim: the profiled setting's measured per-batch
+        time is near the traversal optimum (within 1.35x here)."""
+        profiler = make_profiler()
+        limit = 8 * 2**30
+        prof = ProfilingTuner(profiler, limit).tune(n_candidates=[1, 2, 3])
+        trav = TraversalTuner(profiler, limit).tune(n_candidates=[1, 2, 3])
+        prof_pb = prof.measured_batch_time / prof.n
+        trav_pb = trav.measured_batch_time / trav.n
+        assert prof_pb <= trav_pb * 1.35
+
+    def test_traversal_returns_feasible_best(self):
+        profiler = make_profiler()
+        outcome = TraversalTuner(profiler, 8 * 2**30).tune(
+            m_candidates=[4, 8, 16], n_candidates=[1, 2]
+        )
+        assert (outcome.m, outcome.n) in [(m, n) for m in (4, 8, 16) for n in (1, 2)]
+        assert np.isfinite(outcome.measured_batch_time)
+
+
+class TestGuidelines:
+    def test_max_num_sets_micro_batch_size_one(self):
+        profiler = make_profiler(batch_size=32)
+        outcome = GuidelineTuner(profiler, 8 * 2**30).tune("max-num", n_candidates=[1, 2])
+        assert outcome.m == 32
+
+    def test_max_size_sets_single_micro_batch(self):
+        profiler = make_profiler(batch_size=32)
+        outcome = GuidelineTuner(profiler, 8 * 2**30).tune("max-size", n_candidates=[1, 2])
+        assert outcome.m == 1
+
+    def test_unknown_guideline(self):
+        with pytest.raises(ValueError):
+            GuidelineTuner(make_profiler(), 1e12).tune("max-vibes")
+
+
+class TestAvgPipeFacade:
+    @pytest.fixture(scope="class")
+    def gnmt_plan(self):
+        system = AvgPipe("gnmt")
+        return system, system.plan(n_candidates=[1, 2, 3])
+
+    def test_plan_structure(self, gnmt_plan):
+        _, plan = gnmt_plan
+        assert plan.workload == "gnmt"
+        assert plan.num_micro >= 1
+        assert 1 <= plan.num_pipelines <= 3
+        assert plan.advance >= 0
+        assert plan.tuning_cost > 0
+
+    def test_plan_prefers_parallel_pipelines_on_gnmt(self, gnmt_plan):
+        """GNMT leaves GPUs underutilized at N=1; the tuner must choose
+        N >= 2 (the paper tunes N=2)."""
+        _, plan = gnmt_plan
+        assert plan.num_pipelines >= 2
+
+    def test_simulation_respects_memory_limit(self, gnmt_plan):
+        system, plan = gnmt_plan
+        result = system.simulate(plan, iterations=2)
+        assert result.oom is None
+        assert max(result.peak_memory) <= plan.memory_limit_bytes
+
+    def test_plan_beats_gpipe_baseline_per_batch(self, gnmt_plan):
+        """The headline: tuned AvgPipe beats GPipe per batch on GNMT."""
+        system, plan = gnmt_plan
+        ours = system.simulate(plan, iterations=2).time_per_batch
+        cal = calibration_for("gnmt")
+        gpipe = BASELINE_SYSTEMS["gpipe"]
+        m = choose_baseline_micro(gpipe, cal)
+        theirs = simulate_baseline(gpipe, cal, num_micro=m, iterations=2).time_per_batch
+        assert ours < theirs
+
+    def test_trainer_uses_planned_pipelines(self, gnmt_plan):
+        system, plan = gnmt_plan
+        trainer = system.trainer(plan, max_epochs=1)
+        assert trainer.num_pipelines == plan.num_pipelines
+
+
+class TestBaselineHelpers:
+    def test_dapple_micro_pinned_near_device_count(self):
+        cal = calibration_for("gnmt")
+        m = choose_baseline_micro(BASELINE_SYSTEMS["dapple"], cal)
+        assert 1 <= m <= cal.num_devices
+        assert cal.batch_size % m == 0
+
+    def test_pipedream_oom_on_bert(self):
+        cal = calibration_for("bert")
+        with pytest.raises(RuntimeError):
+            choose_baseline_micro(BASELINE_SYSTEMS["pipedream"], cal)
+
+    def test_data_parallel_runs_without_micro(self):
+        cal = calibration_for("awd")
+        res = simulate_baseline(BASELINE_SYSTEMS["pytorch"], cal, iterations=2)
+        assert np.isfinite(res.batch_time)
+
+    def test_unknown_baseline(self):
+        from repro.baselines import baseline_by_name
+
+        with pytest.raises(KeyError):
+            baseline_by_name("horovod")

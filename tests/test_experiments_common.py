@@ -1,0 +1,61 @@
+"""Experiment harness plumbing: baseline runs and memory-matched AvgPipe."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.common import (
+    BASELINE_ORDER,
+    VARIANT_TAG,
+    avgpipe_matched_to,
+    run_all_baselines,
+    run_baseline,
+)
+
+
+class TestRunBaseline:
+    def test_results_cached(self):
+        a = run_baseline("awd", "gpipe")
+        b = run_baseline("awd", "gpipe")
+        assert a is b  # lru_cache: figures share runs
+
+    def test_all_baselines_order(self):
+        runs = run_all_baselines("awd", iterations=1)
+        assert [r.system for r in runs] == BASELINE_ORDER
+
+    def test_oom_baseline_reported_not_raised(self):
+        run = run_baseline("bert", "pipedream")
+        assert run.oom
+        assert run.result.batch_time == float("inf")
+
+    def test_data_parallel_has_no_micro(self):
+        run = run_baseline("awd", "pytorch")
+        assert run.num_micro is None
+        assert np.isfinite(run.time_per_batch)
+
+
+class TestMatchedAvgPipe:
+    @pytest.mark.parametrize("workload", ["gnmt", "awd"])
+    def test_budget_respected_without_relaxation(self, workload):
+        run = avgpipe_matched_to(workload, "gpipe")
+        assert run.peak_memory <= run.budget_bytes * 1.001
+        assert run.variant == VARIANT_TAG["gpipe"]
+
+    def test_beats_matched_baseline_per_batch_on_gnmt(self):
+        base = run_baseline("gnmt", "gpipe")
+        ours = avgpipe_matched_to("gnmt", "gpipe")
+        assert ours.time_per_batch < base.time_per_batch
+
+    def test_bert_relaxation_is_reported_when_needed(self):
+        run = avgpipe_matched_to("bert", "gpipe")
+        # Under our conservative accounting the paper's N=2 needs a
+        # relaxed budget on BERT (DESIGN.md item 5); whichever way the
+        # search lands, the relaxation must be explicit and bounded.
+        assert run.budget_relaxation >= 1.0
+        assert run.budget_relaxation < 3.0
+        assert run.peak_memory <= run.budget_bytes * 1.001
+
+    def test_matched_to_oom_baseline_uses_capacity(self):
+        from repro.core.simcfg import calibration_for
+
+        run = avgpipe_matched_to("bert", "pipedream")
+        assert run.budget_bytes <= calibration_for("bert").memory_capacity_bytes * 3

@@ -1,0 +1,41 @@
+"""Light smoke tests of the figure harness (cheap subsets only —
+the full grids run in benchmarks/)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import run_fig02, run_fig07, run_fig13, run_fig17
+
+
+class TestFig07:
+    def test_rows_and_orderings(self):
+        data = run_fig07()
+        rows = {r.schedule: r for r in data["rows"]}
+        assert set(rows) == {"AFAB", "1F1B", "advance-FP(1)"}
+        assert rows["AFAB"].batch_time <= rows["advance-FP(1)"].batch_time
+        assert rows["1F1B"].peak_memory < rows["AFAB"].peak_memory
+        assert "GPU 1" in rows["AFAB"].timeline
+
+
+class TestFig02:
+    def test_trace_statistics(self):
+        data = run_fig02("bert")
+        for name, d in data.items():
+            assert 0 < d["peak"] <= 1.0
+            assert 0 <= d["idle_fraction"] <= 1.0
+            assert d["mean"] <= d["peak"]
+
+
+class TestFig17SingleWorkload:
+    def test_awd_schedules_coincide(self):
+        data = run_fig17(workloads=("awd",))
+        times = [r.iter_time for r in data["rows"]]
+        assert max(times) == pytest.approx(min(times), rel=1e-9)
+
+
+class TestFig13SingleWorkload:
+    def test_awd_avgpipe_gains(self):
+        data = run_fig13(workloads=("awd",))
+        assert data["improvement_pct"]["awd"] > 0
+        systems = [r.system for r in data["rows"]]
+        assert "AvgPipe" in systems

@@ -1,0 +1,137 @@
+"""Partitioner: DP optimality (vs brute force), structure, fallbacks."""
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graph import LayerCost, Partition, partition_model, partition_uniform
+from repro.graph.partitioner import bottleneck_time
+
+
+def costs_from(flops, acts=None, params=None):
+    acts = acts or [100.0] * len(flops)
+    params = params or [10] * len(flops)
+    return [
+        LayerCost(name=f"l{i}", flops_per_sample=f, activation_bytes_per_sample=a, param_bytes=p)
+        for i, (f, a, p) in enumerate(zip(flops, acts, params))
+    ]
+
+
+def brute_force(costs, k, bandwidth, comm_weight=0.5):
+    n = len(costs)
+    best, best_b = None, float("inf")
+    for cuts in itertools.combinations(range(1, n), k - 1):
+        boundaries = (0,) + cuts + (n,)
+        worst = 0.0
+        for s in range(k):
+            lo, hi = boundaries[s], boundaries[s + 1]
+            compute = sum(c.flops_per_sample for c in costs[lo:hi])
+            comm = comm_weight * costs[lo - 1].activation_bytes_per_sample / bandwidth if lo > 0 else 0.0
+            worst = max(worst, compute + comm)
+        if worst < best_b:
+            best, best_b = boundaries, worst
+    return best, best_b
+
+
+class TestPartitionStructure:
+    def test_boundaries_validation(self):
+        with pytest.raises(ValueError):
+            Partition(boundaries=(0, 3, 3, 5))
+        with pytest.raises(ValueError):
+            Partition(boundaries=(1, 3))
+
+    def test_stage_of_layer(self):
+        p = Partition(boundaries=(0, 2, 5))
+        assert p.stage_of_layer(0) == 0
+        assert p.stage_of_layer(4) == 1
+        with pytest.raises(IndexError):
+            p.stage_of_layer(5)
+
+    def test_uniform_partition_spreads_remainder(self):
+        p = partition_uniform(10, 4)
+        sizes = [hi - lo for lo, hi in (p.span(k) for k in range(4))]
+        assert sorted(sizes) == [2, 2, 3, 3]
+        assert sum(sizes) == 10
+
+    def test_uniform_too_many_stages(self):
+        with pytest.raises(ValueError):
+            partition_uniform(3, 4)
+
+
+class TestDPOptimality:
+    def test_balances_equal_layers(self):
+        costs = costs_from([100.0] * 8)
+        p = partition_model(costs, 4, bandwidth_bytes_per_sec=1e12)
+        sizes = [hi - lo for lo, hi in (p.span(k) for k in range(4))]
+        assert sizes == [2, 2, 2, 2]
+
+    def test_isolates_heavy_layer(self):
+        costs = costs_from([10, 10, 1000, 10, 10])
+        p = partition_model(costs, 3, bandwidth_bytes_per_sec=1e12)
+        heavy_stage = p.stage_of_layer(2)
+        lo, hi = p.span(heavy_stage)
+        assert hi - lo == 1  # the 1000-flop layer gets its own stage
+
+    def test_avoids_expensive_cut(self):
+        # Cutting after layer 1 ships a huge activation; DP must cut elsewhere.
+        costs = costs_from([100, 100, 100, 100], acts=[10, 1e9, 10, 10])
+        p = partition_model(costs, 2, bandwidth_bytes_per_sec=1.0, flops_per_sec=1.0)
+        assert 2 not in ()  # placeholder for clarity
+        assert p.boundaries[1] != 2
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        n=st.integers(4, 9),
+        k=st.integers(2, 4),
+        seed=st.integers(0, 10_000),
+    )
+    def test_matches_brute_force(self, n, k, seed):
+        if k > n:
+            return
+        rng = np.random.default_rng(seed)
+        costs = costs_from(
+            rng.uniform(1, 100, size=n).tolist(),
+            acts=rng.uniform(1, 50, size=n).tolist(),
+        )
+        bandwidth = 10.0
+        p = partition_model(costs, k, bandwidth_bytes_per_sec=bandwidth, comm_weight=0.5)
+        _, best_b = brute_force(costs, k, bandwidth)
+        got = _objective(costs, p.boundaries, bandwidth)
+        assert got == pytest.approx(best_b, rel=1e-9)
+
+    def test_too_many_stages_raises(self):
+        with pytest.raises(ValueError):
+            partition_model(costs_from([1, 2]), 3)
+
+    def test_zero_stages_raises(self):
+        with pytest.raises(ValueError):
+            partition_model(costs_from([1, 2]), 0)
+
+
+def _objective(costs, boundaries, bandwidth, comm_weight=0.5):
+    worst = 0.0
+    for s in range(len(boundaries) - 1):
+        lo, hi = boundaries[s], boundaries[s + 1]
+        compute = sum(c.flops_per_sample for c in costs[lo:hi])
+        comm = comm_weight * costs[lo - 1].activation_bytes_per_sample / bandwidth if lo > 0 else 0.0
+        worst = max(worst, compute + comm)
+    return worst
+
+
+class TestBottleneckTime:
+    def test_single_stage_is_total_compute(self):
+        costs = costs_from([10, 20, 30])
+        assert bottleneck_time(costs, [0, 3], 1e9) == pytest.approx(60)
+
+    def test_includes_receive_comm(self):
+        costs = costs_from([10, 10], acts=[1000, 10])
+        t = bottleneck_time(costs, [0, 1, 2], bandwidth_bytes_per_sec=100.0)
+        assert t == pytest.approx(10 + 1000 / 100.0)
+
+
+class TestLayerCostValidation:
+    def test_negative_cost_rejected(self):
+        with pytest.raises(ValueError):
+            LayerCost(name="x", flops_per_sample=-1, activation_bytes_per_sample=1, param_bytes=0)

@@ -1,0 +1,153 @@
+"""Integration: the paper's headline qualitative claims at calibrated scale.
+
+Each test pins one claim from §7 that the benchmark harness reports in
+full; failures here mean the reproduction story itself regressed.  These
+use the real calibrations (repro.core.simcfg) and are therefore the
+slowest tests in the suite.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines import BASELINE_SYSTEMS, choose_baseline_micro, simulate_baseline
+from repro.core import AvgPipe
+from repro.core.profiler import Profiler
+from repro.core.simcfg import calibration_for
+from repro.schedules import AFABSchedule, AdvanceFPSchedule, OneFOneBSchedule
+
+
+def profiler_for(cal, schedule):
+    return Profiler(
+        layer_costs=cal.layer_costs(),
+        partition=cal.partition(),
+        schedule=schedule,
+        cluster_spec=cal.cluster_spec(),
+        batch_size=cal.batch_size,
+        activation_byte_scale=cal.activation_byte_scale,
+        param_byte_scale=cal.param_byte_scale,
+        stash_multiplier=cal.stash_multiplier,
+        optimizer_state_factor=cal.optimizer_state_factor,
+        with_reference_model=True,
+    )
+
+
+@pytest.fixture(scope="module")
+def gnmt_cal():
+    return calibration_for("gnmt")
+
+
+@pytest.fixture(scope="module")
+def bert_cal():
+    return calibration_for("bert")
+
+
+class TestFigure11And12Claims:
+    def test_data_parallel_slowest_on_every_workload(self):
+        for wl in ("gnmt", "bert", "awd"):
+            cal = calibration_for(wl)
+            dp = simulate_baseline(BASELINE_SYSTEMS["pytorch"], cal, iterations=2)
+            gp = simulate_baseline(
+                BASELINE_SYSTEMS["gpipe"], cal,
+                num_micro=choose_baseline_micro(BASELINE_SYSTEMS["gpipe"], cal),
+                iterations=2,
+            )
+            assert dp.batch_time > gp.batch_time, wl
+
+    def test_data_parallel_highest_memory_footprint(self):
+        """Paper: the DP replica gives the highest footprint.  On our
+        calibrated GNMT the AFAB activation stash of GPipe's stage 0 ties
+        DP within ~1% (recorded as a deviation in EXPERIMENTS.md), so the
+        GNMT assertion allows that tolerance; BERT and AWD are strict."""
+        for wl, tolerance in (("gnmt", 0.95), ("bert", 1.0), ("awd", 1.0)):
+            cal = calibration_for(wl)
+            dp = simulate_baseline(BASELINE_SYSTEMS["pytorch"], cal, iterations=1)
+            gp = simulate_baseline(
+                BASELINE_SYSTEMS["gpipe"], cal,
+                num_micro=choose_baseline_micro(BASELINE_SYSTEMS["gpipe"], cal),
+                iterations=1,
+            )
+            assert max(dp.peak_memory) > tolerance * max(gp.peak_memory), wl
+
+    def test_pipedream_oom_on_bert_but_not_gnmt(self, bert_cal, gnmt_cal):
+        with pytest.raises(RuntimeError):
+            choose_baseline_micro(BASELINE_SYSTEMS["pipedream"], bert_cal)
+        m = choose_baseline_micro(BASELINE_SYSTEMS["pipedream"], gnmt_cal)
+        assert m >= 1
+
+    def test_avgpipe_beats_gpipe_on_gnmt_within_its_memory(self, gnmt_cal):
+        gpipe = BASELINE_SYSTEMS["gpipe"]
+        m = choose_baseline_micro(gpipe, gnmt_cal)
+        base = simulate_baseline(gpipe, gnmt_cal, num_micro=m, iterations=2)
+        system = AvgPipe("gnmt")
+        plan = system.plan(memory_limit_bytes=max(base.peak_memory), n_candidates=[1, 2, 3])
+        ours = system.simulate(plan, iterations=2)
+        assert ours.oom is None
+        assert max(ours.peak_memory) <= max(base.peak_memory)
+        speedup = base.time_per_batch / ours.time_per_batch
+        assert speedup > 1.15, f"AvgPipe(G) speedup only {speedup:.2f}"
+
+    def test_avgpipe_improves_gpu_utilization(self, gnmt_cal):
+        gpipe = BASELINE_SYSTEMS["gpipe"]
+        m = choose_baseline_micro(gpipe, gnmt_cal)
+        base = simulate_baseline(gpipe, gnmt_cal, num_micro=m, iterations=2)
+        system = AvgPipe("gnmt")
+        plan = system.plan(memory_limit_bytes=max(base.peak_memory), n_candidates=[1, 2, 3])
+        ours = system.simulate(plan, iterations=2)
+        assert ours.avg_utilization > base.avg_utilization * 1.3
+
+
+class TestFigure17Claims:
+    def test_bert_schedule_time_ordering(self, bert_cal):
+        """BERT (balanced stages): AFAB <= advance-FP <= 1F1B in time."""
+        times = {}
+        for name, sched in [
+            ("afab", AFABSchedule()),
+            ("adv", AdvanceFPSchedule(4)),
+            ("1f1b", OneFOneBSchedule(versions=1)),
+        ]:
+            res = profiler_for(bert_cal, sched).run_setting(16, 1, iterations=3)
+            assert res.oom is None
+            times[name] = res.batch_time
+        assert times["afab"] <= times["adv"] <= times["1f1b"]
+
+    def test_memory_ordering_both_workloads(self, gnmt_cal, bert_cal):
+        """1F1B < advance-FP < AFAB in peak memory (Figure 17b)."""
+        for cal, m in ((gnmt_cal, 32), (bert_cal, 16)):
+            mems = {}
+            for name, sched in [
+                ("afab", AFABSchedule()),
+                ("adv", AdvanceFPSchedule(2)),
+                ("1f1b", OneFOneBSchedule(versions=1)),
+            ]:
+                res = profiler_for(cal, sched).run_setting(m, 1, iterations=1)
+                if res.oom is not None:
+                    mems[name] = float("inf")
+                else:
+                    mems[name] = max(res.peak_memory)
+            assert mems["1f1b"] < mems["adv"] <= mems["afab"]
+
+    def test_per_gpu_stash_decreases_downstream_under_1f1b(self, bert_cal):
+        """Figure 17c: the k-th GPU stashes K-k+1 micro-batches."""
+        res = profiler_for(bert_cal, OneFOneBSchedule(versions=1)).run_setting(16, 1, iterations=1)
+        stash = res.data_memory_peak
+        assert stash == sorted(stash, reverse=True)
+        assert stash[0] > stash[-1]
+
+    def test_awd_single_micro_batch_schedules_equal(self):
+        """§7.2: with M=1 the three schedules coincide on AWD."""
+        cal = calibration_for("awd")
+        times = []
+        for sched in (AFABSchedule(), OneFOneBSchedule(versions=1), AdvanceFPSchedule(3)):
+            res = profiler_for(cal, sched).run_setting(1, 2, iterations=2)
+            times.append(res.batch_time)
+        assert max(times) == pytest.approx(min(times), rel=1e-9)
+
+
+class TestTunerClaims:
+    def test_profiling_tuner_picks_different_regimes_per_workload(self):
+        """Figure 19's insight: bubbles dominate GNMT/BERT (tuner raises M),
+        arithmetic intensity dominates AWD (tuner keeps M small)."""
+        gnmt_plan = AvgPipe("gnmt").plan(n_candidates=[1, 2, 3])
+        awd_plan = AvgPipe("awd").plan(n_candidates=[1, 2, 3])
+        assert gnmt_plan.num_micro >= 16
+        assert awd_plan.num_micro <= 4

@@ -1,0 +1,142 @@
+"""Greedy decoding for GNMT."""
+
+import numpy as np
+import pytest
+
+from repro.data import TranslationConfig, bleu_like, make_translation_dataset
+from repro.data.vocab import EOS, PAD
+from repro.models import build_bert, BertConfig
+from repro.models.gnmt import GNMTConfig, build_gnmt
+from repro.models.inference import greedy_decode
+from repro.optim import Adam
+
+CFG = GNMTConfig(vocab_size=16, embed_dim=8, hidden_dim=12, encoder_layers=2,
+                 decoder_layers=2, src_len=7, tgt_len=7, dropout=0.0)
+
+
+def small_data():
+    dcfg = TranslationConfig(num_pairs=256, vocab_size=12, seq_len=5, seed=4)
+    train, valid, _ = make_translation_dataset(dcfg)
+    return train, valid
+
+
+class TestGreedyDecode:
+    def test_output_shape_and_token_range(self):
+        model = build_gnmt(CFG)
+        src = np.random.default_rng(0).integers(4, 16, size=(3, 7))
+        out = greedy_decode(model, src, max_len=7)
+        assert out.shape[0] == 3
+        assert out.shape[1] <= 7
+        assert out.min() >= 0 and out.max() < CFG.vocab_size
+
+    def test_tokens_after_eos_are_padding(self):
+        model = build_gnmt(CFG)
+        src = np.random.default_rng(1).integers(4, 16, size=(4, 7))
+        out = greedy_decode(model, src, max_len=7)
+        for row in out:
+            hits = np.where(row == EOS)[0]
+            if len(hits):
+                assert np.all(row[hits[0] + 1:] == PAD)
+
+    def test_deterministic(self):
+        model = build_gnmt(CFG)
+        src = np.random.default_rng(2).integers(4, 16, size=(2, 7))
+        a = greedy_decode(model, src)
+        b = greedy_decode(model, src)
+        assert np.array_equal(a, b)
+
+    def test_rejects_non_gnmt_models(self):
+        bert = build_bert(BertConfig(vocab_size=16, d_model=8, num_heads=2, num_blocks=2,
+                                     d_ff=16, seq_len=9, num_classes=2))
+        with pytest.raises(TypeError):
+            greedy_decode(bert, np.zeros((1, 9), dtype=np.int64))
+
+    def test_bleu_improves_with_training(self):
+        """The deployment metric must track training progress."""
+        train, valid = small_data()
+        model = build_gnmt(CFG).seed(3)
+        src = valid.arrays["src"]
+        refs = [
+            [int(t) for t in row[: int(np.where(row == EOS)[0][0]) if len(np.where(row == EOS)[0]) else len(row)]]
+            for row in valid.arrays["tgt_out"]
+        ]
+
+        def score():
+            hyps = [list(map(int, row)) for row in greedy_decode(model, src, max_len=7)]
+            return bleu_like(hyps, refs)
+
+        before = score()
+        opt = Adam(model.parameters(), lr=3e-3)
+        for _ in range(40):
+            idx = np.random.default_rng(5).choice(len(train), 64, replace=False)
+            batch = {k: v[idx] for k, v in train.arrays.items()}
+            model.zero_grad()
+            model.loss(batch).backward()
+            opt.step()
+        after = score()
+        assert after > before + 1.0
+
+
+class TestBeamSearch:
+    def test_beam_one_matches_greedy_tokens(self):
+        from repro.models.inference import beam_search_decode
+
+        model = build_gnmt(CFG).seed(5)
+        src = np.random.default_rng(6).integers(4, 16, size=(3, 7))
+        greedy = greedy_decode(model, src, max_len=7)
+        beam1 = beam_search_decode(model, src, beam_width=1, max_len=7, length_penalty=0.0)
+        # Pad greedy to the same width for comparison.
+        padded = np.full_like(beam1, 0)
+        padded[:, : greedy.shape[1]] = greedy
+        assert np.array_equal(padded, beam1)
+
+    def test_wider_beam_never_scores_worse(self):
+        """Beam search maximizes the length-normalized log-prob: a wider
+        beam's chosen hypothesis can't score below greedy's."""
+        from repro.models.inference import beam_search_decode
+        from repro.tensor import no_grad
+
+        model = build_gnmt(CFG).seed(7)
+        src = np.random.default_rng(8).integers(4, 16, size=(4, 7))
+
+        def score(tokens_row):
+            from repro.data.vocab import BOS, PAD
+            toks = [int(t) for t in tokens_row if t != PAD]
+            if not toks:
+                return -np.inf
+            prefix = np.array([[BOS, *toks[:-1]]], dtype=np.int64)
+            with no_grad():
+                bundle = {"src": src[:1], "tgt_in": None, "tgt_out": None}
+                enc_layers = [l for l in model.layers[:-1]]
+                b = {"src": src[:1], "tgt_in": prefix, "tgt_out": None}
+                out = dict(b)
+                for layer in model.layers[:-1]:
+                    out = layer(out)
+                logits = out["logits"].data[0]
+            total = 0.0
+            for t, tok in enumerate(toks):
+                row = logits[t] - logits[t].max()
+                total += float(row[tok] - np.log(np.exp(row).sum()))
+            return total / ((5 + len(toks)) / 6.0) ** 0.6
+
+        greedy = greedy_decode(model, src[:1], max_len=7)
+        beam = beam_search_decode(model, src[:1], beam_width=4, max_len=7)
+        assert score(beam[0]) >= score(greedy[0]) - 1e-6
+
+    def test_invalid_width(self):
+        from repro.models.inference import beam_search_decode
+
+        with pytest.raises(ValueError):
+            beam_search_decode(build_gnmt(CFG), np.zeros((1, 7), dtype=np.int64), beam_width=0)
+
+    def test_padding_after_eos(self):
+        from repro.data.vocab import EOS, PAD
+        from repro.models.inference import beam_search_decode
+
+        model = build_gnmt(CFG).seed(9)
+        src = np.random.default_rng(10).integers(4, 16, size=(4, 7))
+        out = beam_search_decode(model, src, beam_width=3, max_len=7)
+        for row in out:
+            hits = np.where(row == EOS)[0]
+            if len(hits):
+                assert np.all(row[hits[0] + 1:] == PAD)

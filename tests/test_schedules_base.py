@@ -1,0 +1,149 @@
+"""Schedule op-stream invariants, including the paper's degeneracy claims."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.schedules import (
+    AFABSchedule,
+    AdvanceFPSchedule,
+    OneFOneBSchedule,
+    PipeDreamSchedule,
+    StageOp,
+    schedule_by_name,
+)
+
+ALL_SCHEDULES = [
+    AFABSchedule(),
+    OneFOneBSchedule(versions=1),
+    OneFOneBSchedule(versions=2),
+    AdvanceFPSchedule(0),
+    AdvanceFPSchedule(2),
+    AdvanceFPSchedule(100),
+    PipeDreamSchedule(),
+]
+
+
+def stream_is_valid(ops, num_micro):
+    fwd_seen, bwd_seen = [], []
+    for op in ops:
+        if op.kind == "fwd":
+            fwd_seen.append(op.micro)
+        else:
+            bwd_seen.append(op.micro)
+            assert op.micro in fwd_seen, "backward before forward"
+    assert fwd_seen == list(range(num_micro)), "forwards out of order or missing"
+    assert bwd_seen == list(range(num_micro)), "backwards out of order or missing"
+
+
+class TestStreamInvariants:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        sched_idx=st.integers(0, len(ALL_SCHEDULES) - 1),
+        num_stages=st.integers(1, 8),
+        stage=st.integers(0, 7),
+        num_micro=st.integers(1, 32),
+    )
+    def test_every_stream_is_valid(self, sched_idx, num_stages, stage, num_micro):
+        if stage >= num_stages:
+            return
+        sched = ALL_SCHEDULES[sched_idx]
+        ops = sched.stage_ops(stage, num_stages, num_micro)
+        assert len(ops) == 2 * num_micro
+        stream_is_valid(ops, num_micro)
+
+    def test_invalid_stage_rejected(self):
+        with pytest.raises(ValueError):
+            AFABSchedule().stage_ops(4, 4, 8)
+
+    def test_invalid_micro_rejected(self):
+        with pytest.raises(ValueError):
+            OneFOneBSchedule().stage_ops(0, 4, 0)
+
+    def test_bad_op_kind_rejected(self):
+        with pytest.raises(ValueError):
+            StageOp("sideways", 0)
+
+
+class TestStashBounds:
+    def test_afab_stashes_whole_batch(self):
+        sched = AFABSchedule()
+        for stage in range(4):
+            assert sched.stash_bound(stage, 4, 16) == 16
+
+    def test_1f1b_stash_is_paper_bound(self):
+        """Paper §4.1: the k-th GPU (1-indexed) stashes K-k+1 micro-batches."""
+        sched = OneFOneBSchedule()
+        K, M = 6, 32
+        for stage in range(K):
+            one_indexed = stage + 1
+            assert sched.stash_bound(stage, K, M) == K - one_indexed + 1
+
+    def test_1f1b_example_from_figure_7(self):
+        # K=2: first GPU stashes 2 micro-batches.
+        assert OneFOneBSchedule().stash_bound(0, 2, 4) == 2
+
+    def test_advance_adds_exactly_advance_to_stash(self):
+        base = OneFOneBSchedule()
+        for adv in (1, 2, 3):
+            sched = AdvanceFPSchedule(adv)
+            for stage in range(4):
+                expected = min(base.stash_bound(stage, 4, 16) + adv, 16)
+                assert sched.stash_bound(stage, 4, 16) == expected
+
+
+class TestDegeneracy:
+    """§4.2: advance-FP degenerates into 1F1B at advance=0 and AFAB at
+    advance >= M."""
+
+    @settings(max_examples=40, deadline=None)
+    @given(num_stages=st.integers(1, 6), stage=st.integers(0, 5), num_micro=st.integers(1, 24))
+    def test_advance_zero_equals_1f1b(self, num_stages, stage, num_micro):
+        if stage >= num_stages:
+            return
+        assert AdvanceFPSchedule(0).stage_ops(stage, num_stages, num_micro) == \
+            OneFOneBSchedule().stage_ops(stage, num_stages, num_micro)
+
+    @settings(max_examples=40, deadline=None)
+    @given(num_stages=st.integers(1, 6), stage=st.integers(0, 5), num_micro=st.integers(1, 24))
+    def test_advance_full_equals_afab(self, num_stages, stage, num_micro):
+        if stage >= num_stages:
+            return
+        assert AdvanceFPSchedule(num_micro).stage_ops(stage, num_stages, num_micro) == \
+            AFABSchedule().stage_ops(stage, num_stages, num_micro)
+
+
+class TestVersionPolicies:
+    def test_pipedream_versions_decrease_downstream(self):
+        sched = PipeDreamSchedule()
+        versions = [sched.weight_versions(k, 6) for k in range(6)]
+        assert versions == [6, 5, 4, 3, 2, 1]
+
+    def test_sync_schedules_have_one_or_two_versions(self):
+        assert AFABSchedule().weight_versions(0, 6) == 1
+        assert OneFOneBSchedule(versions=1).weight_versions(0, 6) == 1
+        assert OneFOneBSchedule(versions=2).weight_versions(0, 6) == 2
+        assert AdvanceFPSchedule(2).weight_versions(0, 6) == 1
+
+    def test_pipedream_is_async(self):
+        assert not PipeDreamSchedule().sync_at_batch_end
+        assert AFABSchedule().sync_at_batch_end
+
+    def test_invalid_1f1b_versions(self):
+        with pytest.raises(ValueError):
+            OneFOneBSchedule(versions=3)
+
+    def test_negative_advance_rejected(self):
+        with pytest.raises(ValueError):
+            AdvanceFPSchedule(-1)
+
+
+class TestScheduleByName:
+    def test_aliases(self):
+        assert isinstance(schedule_by_name("gpipe"), AFABSchedule)
+        assert schedule_by_name("dapple").versions == 1
+        assert schedule_by_name("2bw").versions == 2
+        assert schedule_by_name("advance_fp", advance=3).advance == 3
+
+    def test_unknown(self):
+        with pytest.raises(KeyError):
+            schedule_by_name("zigzag")

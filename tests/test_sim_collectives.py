@@ -1,0 +1,81 @@
+"""Ring all-reduce: correctness of the step-accurate simulation and its
+relation to the analytic bound and to the DP runner's approximation."""
+
+import pytest
+
+from repro.sim import ClusterSpec, Simulator, make_cluster
+from repro.sim.collectives import ring_allreduce, ring_allreduce_lower_bound
+
+GIB = 2**30
+
+
+def cluster_of(k, nodes=None):
+    sim = Simulator()
+    nodes = nodes or k // 2
+    return make_cluster(
+        sim, k, spec=ClusterSpec(nodes=nodes, gpus_per_node=k // nodes, memory_bytes=GIB)
+    )
+
+
+class TestRingAllreduce:
+    def test_completion_time_matches_lower_bound_exactly(self):
+        """With a bulk-synchronous ring, every phase is paced by the
+        slowest link, so the simulation should land on the bound."""
+        cluster = cluster_of(6)
+        done = ring_allreduce(cluster, nbytes=6e6)
+        cluster.sim.run_until_process(done)
+        expected = ring_allreduce_lower_bound(cluster, 6e6)
+        assert cluster.sim.now == pytest.approx(expected, rel=0.05)
+
+    def test_scales_linearly_in_bytes(self):
+        t = []
+        for nbytes in (3e6, 6e6):
+            cluster = cluster_of(6)
+            done = ring_allreduce(cluster, nbytes=nbytes)
+            cluster.sim.run_until_process(done)
+            t.append(cluster.sim.now)
+        assert t[1] == pytest.approx(2 * t[0], rel=0.05)
+
+    def test_single_device_is_free(self):
+        sim = Simulator()
+        cluster = make_cluster(sim, 1, spec=ClusterSpec(nodes=1, gpus_per_node=1, memory_bytes=GIB))
+        done = ring_allreduce(cluster, nbytes=1e9)
+        sim.run_until_process(done)
+        assert sim.now == pytest.approx(0.0)
+
+    def test_cross_node_ring_dominated_by_ethernet(self):
+        """A ring over 3 nodes pays the 1 Gbps hops; an intra-node ring of
+        the same size would be orders faster."""
+        multi = cluster_of(6, nodes=3)
+        done = ring_allreduce(multi, nbytes=6e6)
+        multi.sim.run_until_process(done)
+        t_multi = multi.sim.now
+
+        single = cluster_of(6, nodes=1)
+        done = ring_allreduce(single, nbytes=6e6)
+        single.sim.run_until_process(done)
+        t_single = single.sim.now
+        assert t_multi > 10 * t_single
+
+    def test_dp_runner_approximation_within_factor_of_faithful_ring(self):
+        """The DataParallel runner models the all-reduce as one transfer of
+        2(K-1)/K x bytes per device over the inter-node NIC (times a
+        protocol-inefficiency factor).  At inefficiency 1.0 it must agree
+        with the faithful ring within ~2x either way."""
+        from repro.graph import LayerCost
+        from repro.schedules import DataParallelSimRunner
+
+        nbytes = 6e6
+        cluster = cluster_of(6, nodes=3)
+        done = ring_allreduce(cluster, nbytes=nbytes)
+        cluster.sim.run_until_process(done)
+        t_ring = cluster.sim.now
+
+        costs = [LayerCost("l", flops_per_sample=1.0, activation_bytes_per_sample=1.0,
+                           param_bytes=int(nbytes))]
+        cluster2 = cluster_of(6, nodes=3)
+        runner = DataParallelSimRunner(cluster2, costs, batch_size=6,
+                                       allreduce_inefficiency=1.0)
+        res = runner.run(iterations=1)
+        t_comm = max(res.comm_sent_time)
+        assert t_ring / 2.5 <= t_comm <= t_ring * 2.5

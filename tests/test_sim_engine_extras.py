@@ -1,0 +1,95 @@
+"""Engine corners: bounded runs, callback-after-trigger, nested processes."""
+
+import pytest
+
+from repro.sim import AllOf, Event, SharedResource, Simulator
+
+
+class TestBoundedRun:
+    def test_run_until_stops_the_clock(self):
+        sim = Simulator()
+        fired = []
+
+        def proc():
+            yield sim.timeout(5.0)
+            fired.append(sim.now)
+
+        sim.process(proc())
+        sim.run(until=2.0)
+        assert sim.now == pytest.approx(2.0)
+        assert fired == []
+        sim.run()
+        assert fired == [pytest.approx(5.0)]
+
+    def test_run_until_process_time_limit(self):
+        sim = Simulator()
+
+        def slow():
+            yield sim.timeout(100.0)
+
+        proc = sim.process(slow())
+        with pytest.raises(RuntimeError, match="time limit"):
+            sim.run_until_process(proc, limit=1.0)
+
+
+class TestCallbacks:
+    def test_callback_added_after_trigger_fires_immediately(self):
+        sim = Simulator()
+        ev = sim.event()
+        ev.succeed("payload")
+        seen = []
+        ev.add_callback(lambda e: seen.append(e.value))
+        assert seen == ["payload"]
+
+    def test_all_of_with_already_fired_children(self):
+        sim = Simulator()
+        done = sim.event()
+        done.succeed()
+        pending = sim.timeout(1.0)
+        barrier = AllOf(sim, [done, pending])
+        sim.run()
+        assert barrier.triggered
+
+
+class TestNestedProcesses:
+    def test_process_waits_on_subprocess_chain(self):
+        sim = Simulator()
+        log = []
+
+        def leaf(tag, delay):
+            yield sim.timeout(delay)
+            log.append(tag)
+            return tag
+
+        def middle():
+            value = yield sim.process(leaf("a", 1.0))
+            value2 = yield sim.process(leaf(value + "b", 1.0))
+            return value2
+
+        def root():
+            result = yield sim.process(middle())
+            log.append("root:" + result)
+
+        sim.process(root())
+        sim.run()
+        assert log == ["a", "ab", "root:ab"]
+        assert sim.now == pytest.approx(2.0)
+
+    def test_many_concurrent_resources_remain_deterministic(self):
+        def run_once():
+            sim = Simulator()
+            res_a = SharedResource(sim, 10.0, name="a")
+            res_b = SharedResource(sim, 5.0, name="b")
+            finish = []
+
+            def proc(i):
+                yield res_a.execute(10.0 + i, 0.4)
+                yield res_b.execute(5.0, 1.0)
+                finish.append((i, sim.now))
+
+            for i in range(6):
+                sim.process(proc(i))
+            sim.run()
+            return finish
+
+        assert run_once() == run_once()

@@ -1,0 +1,154 @@
+"""Utilities: seeding, statistics, tables, Gantt rendering."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.utils import (
+    RunningMean,
+    RunningStat,
+    SeedSequence,
+    derive_rng,
+    format_table,
+    geometric_mean,
+    render_gantt,
+    set_global_seed,
+    speedup,
+)
+from repro.utils.timeline_render import TimelineSpan
+
+
+class TestSeeding:
+    def test_same_tags_same_stream(self):
+        a = derive_rng("x", 1, seed=42).random(5)
+        b = derive_rng("x", 1, seed=42).random(5)
+        assert np.array_equal(a, b)
+
+    def test_different_tags_different_streams(self):
+        a = derive_rng("x", 1, seed=42).random(5)
+        b = derive_rng("x", 2, seed=42).random(5)
+        assert not np.array_equal(a, b)
+
+    def test_global_seed_fallback(self):
+        set_global_seed(7)
+        a = derive_rng("y").random(3)
+        set_global_seed(7)
+        b = derive_rng("y").random(3)
+        set_global_seed(0)
+        assert np.array_equal(a, b)
+
+    def test_seed_sequence_children_independent(self):
+        root = SeedSequence(5)
+        a = root.child("a").rng().random(4)
+        b = root.child("b").rng().random(4)
+        assert not np.array_equal(a, b)
+
+    def test_tag_order_matters(self):
+        a = derive_rng("a", "b", seed=1).random(3)
+        b = derive_rng("b", "a", seed=1).random(3)
+        assert not np.array_equal(a, b)
+
+    def test_integer_is_63_bit(self):
+        assert 0 <= SeedSequence(3).child("z").integer() < 2**63
+
+
+class TestStats:
+    @settings(max_examples=30, deadline=None)
+    @given(values=st.lists(st.floats(-1e3, 1e3), min_size=1, max_size=50))
+    def test_running_mean_matches_numpy(self, values):
+        rm = RunningMean()
+        for v in values:
+            rm.update(v)
+        assert rm.mean == pytest.approx(np.mean(values), rel=1e-9, abs=1e-9)
+
+    def test_running_mean_merge(self):
+        a, b = RunningMean(), RunningMean()
+        for v in [1.0, 2.0]:
+            a.update(v)
+        for v in [3.0, 4.0, 5.0]:
+            b.update(v)
+        a.merge(b)
+        assert a.mean == pytest.approx(3.0)
+        assert a.count == 5
+
+    @settings(max_examples=30, deadline=None)
+    @given(values=st.lists(st.floats(-100, 100), min_size=2, max_size=40))
+    def test_running_stat_matches_numpy(self, values):
+        rs = RunningStat()
+        for v in values:
+            rs.update(v)
+        assert rs.mean == pytest.approx(np.mean(values), abs=1e-9)
+        assert rs.variance == pytest.approx(np.var(values, ddof=1), rel=1e-6, abs=1e-9)
+        assert rs.min == min(values) and rs.max == max(values)
+
+    def test_geometric_mean(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+        with pytest.raises(ValueError):
+            geometric_mean([])
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, -2.0])
+
+    def test_speedup(self):
+        assert speedup(10.0, 5.0) == pytest.approx(2.0)
+        with pytest.raises(ValueError):
+            speedup(0.0, 1.0)
+
+
+class TestFormatTable:
+    def test_alignment_and_rule(self):
+        out = format_table(["name", "t"], [["gpipe", 1.2345], ["avgpipe", 0.5]])
+        lines = out.splitlines()
+        assert lines[0].startswith("name")
+        assert set(lines[1]) <= {"-", " "}
+        assert "gpipe" in lines[2]
+
+    def test_title(self):
+        out = format_table(["a"], [[1]], title="Figure 11")
+        assert out.splitlines()[0] == "Figure 11"
+
+    def test_nan_rendered_as_dash(self):
+        out = format_table(["a"], [[float("nan")]])
+        assert "-" in out.splitlines()[-1]
+
+    def test_row_width_mismatch(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+
+class TestGantt:
+    def test_rows_and_scale(self):
+        spans = [
+            TimelineSpan(0, 0.0, 1.0, "fwd", "1"),
+            TimelineSpan(1, 1.0, 2.0, "bwd", "1"),
+            TimelineSpan(0, 2.0, 4.0, "comm", ""),
+        ]
+        art = render_gantt(spans, 2, width=40)
+        lines = art.splitlines()
+        assert len(lines) == 3
+        assert "~" in lines[0]  # comm fill
+
+    def test_empty(self):
+        assert "empty" in render_gantt([], 2)
+
+    def test_device_out_of_range(self):
+        with pytest.raises(ValueError):
+            render_gantt([TimelineSpan(5, 0, 1, "fwd", "1")], 2)
+
+
+class TestGanttEdgeCases:
+    def test_overlapping_spans_render_without_error(self):
+        spans = [
+            TimelineSpan(0, 0.0, 2.0, "fwd", "1"),
+            TimelineSpan(0, 1.0, 3.0, "bwd", "2"),
+        ]
+        art = render_gantt(spans, 1, width=30)
+        assert "|" in art
+
+    def test_explicit_end_time_extends_axis(self):
+        spans = [TimelineSpan(0, 0.0, 1.0, "fwd", "1")]
+        art = render_gantt(spans, 1, width=20, end_time=10.0)
+        assert "t=10" in art
+
+    def test_zero_horizon_rejected(self):
+        with pytest.raises(ValueError):
+            render_gantt([TimelineSpan(0, 0.0, 0.0, "fwd", "1")], 1, end_time=0.0)
