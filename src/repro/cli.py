@@ -169,6 +169,88 @@ def _cmd_timeline(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_verify(args: argparse.Namespace) -> int:
+    """Run the verification subsystem: sanitizer, oracle, fuzzer."""
+    from repro.verify import (
+        VERIFIED_SCHEDULES,
+        check_schedule,
+        check_trace_causality,
+        corrupt_schedule,
+        fuzz_configs,
+        inject_causality_violation,
+        run_differential_sweep,
+        run_fuzz,
+    )
+    from repro.verify.fuzz import build_runner
+
+    failures = 0
+
+    # ---- schedule sanitizer -------------------------------------------- #
+    grid = [(2, 2), (2, 4), (3, 6), (4, 8)] if not args.quick else [(2, 4), (4, 8)]
+    lint_checked = 0
+    for name, factory in VERIFIED_SCHEDULES.items():
+        schedule = factory()
+        if args.inject in ("swapped-bwd", "dropped-bwd", "dup-fwd", "cross-deadlock"):
+            schedule = corrupt_schedule(schedule, args.inject)
+        for num_stages, num_micro in grid:
+            violations = check_schedule(schedule, num_stages, num_micro)
+            lint_checked += 1
+            for v in violations:
+                failures += 1
+                print(f"SANITIZER {name} K={num_stages} M={num_micro}: {v}")
+    print(f"sanitizer: {lint_checked} (schedule, K, M) combinations linted")
+
+    # ---- differential oracle ------------------------------------------- #
+    if args.quick:
+        reports = run_differential_sweep(
+            stages=(2, 3), micros=(2, 4), pipelines=(1, 2), seed=args.seed
+        )
+    else:
+        reports = run_differential_sweep(seed=args.seed)
+    worst = max(r.worst() for r in reports)
+    for r in reports:
+        if not r.ok(args.tol):
+            failures += 1
+            print(f"ORACLE diverged beyond {args.tol}: {r}")
+    print(f"oracle: {len(reports)} differential checks, worst |delta| = {worst:.3g}")
+
+    # ---- fuzzer + causality -------------------------------------------- #
+    if args.fuzz > 0:
+        results = run_fuzz(args.fuzz, seed=args.seed)
+        spans = sum(r.spans_checked for r in results)
+        ooms = sum(r.oomed for r in results)
+        for r in results:
+            for p in r.problems:
+                failures += 1
+                print(f"FUZZ {r.config.describe()}: {p}")
+        print(f"fuzz: {len(results)} configs ({ooms} predicted OOM), {spans} trace spans checked")
+
+    if args.inject == "causality":
+        cfg = next(
+            c for c in fuzz_configs(50, seed=args.seed)
+            if c.memory_regime == "fits" and c.num_stages >= 2
+        )
+        runner, bundle = build_runner(cfg)
+        runner.run(iterations=cfg.iterations)
+        print("inject:", inject_causality_violation(runner.trace))
+        streams = [
+            bundle.schedule.stage_ops(k, bundle.num_stages, cfg.num_micro)
+            for k in range(bundle.num_stages)
+        ]
+        problems = check_trace_causality(
+            runner.trace, streams, cfg.num_micro, cfg.iterations, cfg.num_pipelines
+        )
+        for p in problems:
+            failures += 1
+            print(f"CAUSALITY {cfg.describe()}: {p}")
+
+    if failures:
+        print(f"verify: FAILED with {failures} violation(s)")
+        return 1
+    print("verify: all checks passed")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argparse tree for the ``repro`` CLI."""
     parser = argparse.ArgumentParser(prog="repro", description=__doc__,
@@ -211,6 +293,18 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--recompute", action="store_true",
                    help="enable activation recomputation (GPipe re-materialization)")
     p.set_defaults(fn=_cmd_timeline)
+
+    p = sub.add_parser("verify", help="differential oracle + schedule sanitizer + sim fuzzer")
+    p.add_argument("--fuzz", type=int, default=25, help="number of fuzzed simulator configs")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--tol", type=float, default=1e-9,
+                   help="max tolerated |delta| between pipeline and oracle")
+    p.add_argument("--quick", action="store_true", help="reduced sweep for CI smoke runs")
+    p.add_argument("--inject", default="none",
+                   choices=["none", "swapped-bwd", "dropped-bwd", "dup-fwd",
+                            "cross-deadlock", "causality"],
+                   help="deliberately corrupt a schedule or trace; verify must then fail")
+    p.set_defaults(fn=_cmd_verify)
     return parser
 
 

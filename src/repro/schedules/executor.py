@@ -408,7 +408,10 @@ class PipelineSimRunner:
                         self.costs.fwd_flops[stage], self.mb_size,
                         name=f"p{pipeline}.f{mb}",
                     )
-                    self.trace.record(device.index, t0, sim.now, SpanKind.FWD, str(op.micro + 1))
+                    self.trace.record(
+                        device.index, t0, sim.now, SpanKind.FWD, str(op.micro + 1),
+                        pipeline=pipeline, stage=stage, micro=mb,
+                    )
                     # -- ship the activation downstream (asynchronously) -----
                     if stage < K - 1:
                         self._send(
@@ -434,7 +437,10 @@ class PipelineSimRunner:
                         bwd_flops, self.mb_size,
                         name=f"p{pipeline}.b{mb}",
                     )
-                    self.trace.record(device.index, t0, sim.now, SpanKind.BWD, str(op.micro + 1))
+                    self.trace.record(
+                        device.index, t0, sim.now, SpanKind.BWD, str(op.micro + 1),
+                        pipeline=pipeline, stage=stage, micro=mb,
+                    )
                     device.memory.free(self._stash_bytes(stage), tag="activations")
                     if stage > 0:
                         self._send(

@@ -38,6 +38,13 @@ class _Span:
     end: float
     kind: SpanKind
     label: str
+    #: structured identity for causality checking (repro.verify.fuzz):
+    #: which pipeline/stage produced this span, and which *global*
+    #: micro-batch index (iteration * M + micro) it processed.  ``None``
+    #: for spans without a per-micro identity (sync/comm/bubble).
+    pipeline: int | None = None
+    stage: int | None = None
+    micro: int | None = None
 
 
 @dataclass
@@ -46,11 +53,30 @@ class TraceRecorder:
 
     spans: list[_Span] = field(default_factory=list)
 
-    def record(self, device: int, start: float, end: float, kind: SpanKind, label: str = "") -> None:
+    def record(
+        self,
+        device: int,
+        start: float,
+        end: float,
+        kind: SpanKind,
+        label: str = "",
+        *,
+        pipeline: int | None = None,
+        stage: int | None = None,
+        micro: int | None = None,
+    ) -> None:
         if end < start:
             raise ValueError(f"span ends before it starts: {start} > {end} ({label})")
         if end > start:
-            self.spans.append(_Span(device, start, end, kind, label))
+            self.spans.append(_Span(device, start, end, kind, label, pipeline, stage, micro))
+
+    def compute_spans(self) -> list[_Span]:
+        """FWD/BWD spans carrying a (pipeline, stage, micro) identity."""
+        return [
+            s
+            for s in self.spans
+            if s.kind in (SpanKind.FWD, SpanKind.BWD) and s.micro is not None
+        ]
 
     # ------------------------------------------------------------------ #
     # aggregation

@@ -1,0 +1,79 @@
+"""Differential-testing & schedule-verification subsystem.
+
+Three coordinated safety nets over the schedule / executor / trainer
+stack (see ``docs/verification.md``):
+
+* :mod:`repro.verify.oracle` — a sequential oracle with explicit
+  weight-version replay, differentially tested against the pipelined
+  numeric trainer and the elastic-averaging framework;
+* :mod:`repro.verify.invariants` — a static sanitizer for any
+  :class:`~repro.schedules.base.Schedule`'s op streams plus the analytic
+  memory model;
+* :mod:`repro.verify.fuzz` — a seeded config fuzzer driving the event
+  simulator with a trace causality checker and an OOM-iff-predicted
+  cross-check.
+
+``repro verify`` on the CLI runs all three.
+"""
+
+from repro.verify.invariants import (
+    CorruptedSchedule,
+    MemoryPrediction,
+    ScheduleViolation,
+    Violation,
+    assert_schedule_valid,
+    check_deadlock_free,
+    check_schedule,
+    check_stream,
+    corrupt_schedule,
+    predict_peak_memory,
+)
+from repro.verify.oracle import (
+    VERIFIED_SCHEDULES,
+    DifferentialReport,
+    ElasticOracle,
+    differential_check,
+    make_toy_model,
+    run_async_oracle,
+    run_differential_sweep,
+    run_sync_oracle,
+    toy_batch,
+)
+from repro.verify.fuzz import (
+    FuzzConfig,
+    FuzzResult,
+    check_trace_causality,
+    fuzz_configs,
+    inject_causality_violation,
+    run_fuzz,
+    run_fuzz_case,
+)
+
+__all__ = [
+    "Violation",
+    "ScheduleViolation",
+    "check_stream",
+    "check_schedule",
+    "check_deadlock_free",
+    "assert_schedule_valid",
+    "predict_peak_memory",
+    "MemoryPrediction",
+    "corrupt_schedule",
+    "CorruptedSchedule",
+    "VERIFIED_SCHEDULES",
+    "DifferentialReport",
+    "ElasticOracle",
+    "differential_check",
+    "run_differential_sweep",
+    "run_sync_oracle",
+    "run_async_oracle",
+    "make_toy_model",
+    "toy_batch",
+    "FuzzConfig",
+    "FuzzResult",
+    "fuzz_configs",
+    "run_fuzz",
+    "run_fuzz_case",
+    "check_trace_causality",
+    "inject_causality_violation",
+]

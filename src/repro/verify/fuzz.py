@@ -1,0 +1,410 @@
+"""Seeded config fuzzer + trace causality checker for the simulator.
+
+The event engine is where races hide: one generator process per
+(pipeline, stage) walks its op stream, and correctness rests on every
+span starting only after its data dependencies completed.  This module
+re-derives those dependencies from the schedule's op streams and checks
+them against the *recorded trace* — a causality detector that needs no
+knowledge of the engine's internals — and cross-checks the memory
+ledger's OOM behaviour against the sanitizer's analytic model
+(:func:`repro.verify.invariants.predict_peak_memory`).
+
+:func:`fuzz_configs` draws random (schedule, stages, micro-batches,
+pipelines, placement, memory-budget) configurations from a seeded stream
+(:mod:`repro.utils.seeding`), so a fuzz budget is exactly reproducible
+from its seed; ``repro verify --fuzz N`` runs N of them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.schedules import (
+    AFABSchedule,
+    AdvanceFPSchedule,
+    OneFOneBSchedule,
+    PipeDreamSchedule,
+    PipelineSimRunner,
+    StageCosts,
+    chimera_device_map,
+    interleaved_device_map,
+)
+from repro.schedules.base import Schedule
+from repro.sim import ClusterSpec, Simulator, make_cluster
+from repro.sim.trace import SpanKind, TraceRecorder, _Span
+from repro.utils.seeding import derive_rng
+from repro.verify.invariants import check_schedule, predict_peak_memory
+
+__all__ = [
+    "FuzzConfig",
+    "FuzzResult",
+    "fuzz_configs",
+    "build_runner",
+    "check_trace_causality",
+    "inject_causality_violation",
+    "run_fuzz_case",
+    "run_fuzz",
+]
+
+#: Timestamps are simulator floats; dependencies are honoured when the
+#: consumer starts no earlier than the producer finished, up to rounding.
+TIME_EPS = 1e-9
+
+
+# ---------------------------------------------------------------------- #
+# configuration drawing
+
+
+@dataclass(frozen=True)
+class FuzzConfig:
+    """One randomly-drawn simulator configuration."""
+
+    case: int
+    schedule: str
+    advance: int
+    versions: int
+    num_stages: int
+    num_micro: int
+    num_pipelines: int
+    placement: str  # "straight" | "chimera" | "interleaved"
+    virtual_factor: int
+    iterations: int
+    memory_regime: str  # "fits" | "oom"
+    activation_recompute: bool
+    with_reference_model: bool
+    seed: int
+
+    def describe(self) -> str:
+        extra = {
+            "advance_fp": f"(advance={self.advance})",
+            "1f1b": f"(versions={self.versions})",
+        }.get(self.schedule, "")
+        return (
+            f"case {self.case}: {self.schedule}{extra} K={self.num_stages} "
+            f"M={self.num_micro} N={self.num_pipelines} {self.placement} "
+            f"it={self.iterations} mem={self.memory_regime}"
+            + (" recompute" if self.activation_recompute else "")
+            + (" +ref" if self.with_reference_model else "")
+        )
+
+    def make_schedule(self) -> Schedule:
+        if self.schedule == "afab":
+            return AFABSchedule()
+        if self.schedule == "1f1b":
+            return OneFOneBSchedule(versions=self.versions)
+        if self.schedule == "advance_fp":
+            return AdvanceFPSchedule(advance=self.advance)
+        if self.schedule == "pipedream":
+            return PipeDreamSchedule()
+        raise ValueError(f"unknown schedule {self.schedule!r}")
+
+
+def fuzz_configs(count: int, seed: int = 0) -> list[FuzzConfig]:
+    """Draw ``count`` reproducible configurations from ``seed``."""
+    rng = derive_rng("verify-fuzz", count, seed=seed)
+    configs = []
+    for case in range(count):
+        schedule = str(rng.choice(["afab", "1f1b", "advance_fp", "pipedream"]))
+        num_stages = int(rng.integers(2, 5))
+        num_micro = int(rng.integers(1, 9))
+        placement = "straight"
+        num_pipelines = int(rng.integers(1, 3))
+        virtual_factor = 1
+        # PipeDream has no batch barrier and Chimera's geometry is defined
+        # for the bidirectional pair, so exotic placements stick to the
+        # synchronous schedules.
+        if schedule != "pipedream":
+            draw = rng.random()
+            if draw < 0.2:
+                placement, num_pipelines = "chimera", 2
+            elif draw < 0.4:
+                placement, num_pipelines, virtual_factor = "interleaved", 1, 2
+        configs.append(
+            FuzzConfig(
+                case=case,
+                schedule=schedule,
+                advance=int(rng.integers(0, 4)),
+                versions=int(rng.choice([1, 2])),
+                num_stages=num_stages,
+                num_micro=num_micro,
+                num_pipelines=num_pipelines,
+                placement=placement,
+                virtual_factor=virtual_factor,
+                iterations=int(rng.integers(1, 3)),
+                memory_regime=str(rng.choice(["fits", "fits", "fits", "oom"])),
+                activation_recompute=bool(rng.random() < 0.25),
+                with_reference_model=bool(rng.random() < 0.5),
+                seed=int(rng.integers(0, 2**31 - 1)),
+            )
+        )
+    return configs
+
+
+# ---------------------------------------------------------------------- #
+# building the simulated system for one config
+
+
+def _draw_costs(cfg: FuzzConfig, num_stages: int) -> StageCosts:
+    rng = derive_rng("verify-fuzz-costs", cfg.case, seed=cfg.seed)
+    return StageCosts(
+        fwd_flops=tuple(float(f) for f in rng.uniform(1e6, 8e6, num_stages)),
+        act_out_bytes=tuple(float(b) for b in rng.uniform(1e6, 6e6, num_stages)),
+        stash_bytes=tuple(float(b) for b in rng.uniform(2e6, 12e6, num_stages)),
+        param_bytes=tuple(int(b) for b in rng.uniform(5e5, 4e6, num_stages)),
+    )
+
+
+def build_runner(cfg: FuzzConfig) -> tuple[PipelineSimRunner, "MemoryPredictionBundle"]:
+    """Instantiate the simulated cluster + runner for one fuzz config.
+
+    The memory budget is derived from the analytic model so every case
+    lands in a *determinate* regime: "fits" sets capacity at the upper
+    bound (the run must complete), "oom" strictly below the tightest
+    lower bound (the run must OOM) — the iff the acceptance criteria ask
+    for, with the indeterminate band between the bounds excluded by
+    construction.
+    """
+    schedule = cfg.make_schedule()
+    if cfg.placement == "chimera":
+        num_devices = cfg.num_stages
+        device_map = chimera_device_map(cfg.num_stages)
+        num_stages = cfg.num_stages
+    elif cfg.placement == "interleaved":
+        num_devices = cfg.num_stages
+        row = interleaved_device_map(num_devices, cfg.virtual_factor)
+        device_map = [list(row) for _ in range(cfg.num_pipelines)]
+        num_stages = num_devices * cfg.virtual_factor
+    else:
+        num_devices = cfg.num_stages
+        device_map = [list(range(cfg.num_stages)) for _ in range(cfg.num_pipelines)]
+        num_stages = cfg.num_stages
+
+    costs = _draw_costs(cfg, num_stages)
+    prediction = predict_peak_memory(
+        schedule,
+        costs,
+        cfg.num_micro,
+        num_devices,
+        device_map,
+        with_reference_model=cfg.with_reference_model,
+        activation_recompute=cfg.activation_recompute,
+    )
+    if cfg.memory_regime == "fits":
+        capacity = max(prediction.upper) + 1
+    else:
+        capacity = max(prediction.lower) - 1
+    capacity = max(capacity, 1)
+
+    sim = Simulator()
+    cluster = make_cluster(
+        sim,
+        num_devices,
+        spec=ClusterSpec(nodes=num_devices, gpus_per_node=1, memory_bytes=int(capacity)),
+    )
+    runner = PipelineSimRunner(
+        cluster,
+        schedule,
+        costs,
+        num_micro=cfg.num_micro,
+        mb_size=4.0,
+        num_pipelines=cfg.num_pipelines,
+        with_reference_model=cfg.with_reference_model,
+        device_map=device_map,
+        activation_recompute=cfg.activation_recompute,
+    )
+    bundle = MemoryPredictionBundle(
+        prediction=prediction, capacity=int(capacity), schedule=schedule, num_stages=num_stages
+    )
+    return runner, bundle
+
+
+@dataclass
+class MemoryPredictionBundle:
+    prediction: object
+    capacity: int
+    schedule: Schedule
+    num_stages: int
+
+
+# ---------------------------------------------------------------------- #
+# trace causality
+
+
+def check_trace_causality(
+    trace: TraceRecorder,
+    streams: Sequence[Sequence],
+    num_micro: int,
+    iterations: int,
+    num_pipelines: int,
+    eps: float = TIME_EPS,
+) -> list[str]:
+    """Verify every compute span started only after its dependencies ended.
+
+    Dependencies re-derived from the chain topology:
+
+    * F(p, k, mb) after F(p, k-1, mb) — the activation must exist;
+    * B(p, k, mb) after F(p, k, mb) — backward needs the local stash;
+    * B(p, k, mb) after B(p, k+1, mb) — the gradient must exist (k < K-1);
+    * each (p, k) stage process is serial and runs its stream in order.
+
+    ``streams`` is the per-stage op list (``schedule.stage_ops`` output);
+    spans are matched by the identity fields the executor records.
+    Returns human-readable violation strings (empty = causally sound).
+    """
+    K = len(streams)
+    spans = trace.compute_spans()
+    by_id: dict[tuple[int, int, int, SpanKind], _Span] = {}
+    problems: list[str] = []
+    for s in spans:
+        key = (s.pipeline, s.stage, s.micro, s.kind)
+        if key in by_id:
+            problems.append(
+                f"duplicate span p{s.pipeline} stage{s.stage} mb{s.micro} {s.kind.value}"
+            )
+        by_id[key] = s
+
+    total_mb = iterations * num_micro
+    expected = num_pipelines * sum(len(ops) for ops in streams) * iterations
+    if len(spans) != expected:
+        problems.append(f"expected {expected} compute spans, trace has {len(spans)}")
+
+    def end_of(p: int, k: int, mb: int, kind: SpanKind) -> float | None:
+        s = by_id.get((p, k, mb, kind))
+        return None if s is None else s.end
+
+    for (p, k, mb, kind), s in by_id.items():
+        deps: list[tuple[str, float | None]] = []
+        if kind == SpanKind.FWD and k > 0:
+            deps.append((f"F(p{p},k{k - 1},mb{mb})", end_of(p, k - 1, mb, SpanKind.FWD)))
+        if kind == SpanKind.BWD:
+            deps.append((f"F(p{p},k{k},mb{mb})", end_of(p, k, mb, SpanKind.FWD)))
+            if k < K - 1:
+                deps.append((f"B(p{p},k{k + 1},mb{mb})", end_of(p, k + 1, mb, SpanKind.BWD)))
+        for name, dep_end in deps:
+            if dep_end is None:
+                problems.append(
+                    f"{kind.value}(p{p},k{k},mb{mb}) has no recorded dependency {name}"
+                )
+            elif s.start < dep_end - eps:
+                problems.append(
+                    f"{kind.value}(p{p},k{k},mb{mb}) starts at {s.start:.6g} "
+                    f"before {name} ends at {dep_end:.6g}"
+                )
+
+    # Per-stage-process serialization + stream order.
+    for p in range(num_pipelines):
+        for k in range(K):
+            stage_spans = sorted(
+                (s for (pp, kk, _, _), s in by_id.items() if pp == p and kk == k),
+                key=lambda s: (s.start, s.end),
+            )
+            expected_order = [
+                (op.kind, it * num_micro + op.micro)
+                for it in range(iterations)
+                for op in streams[k]
+            ]
+            actual_order = [(s.kind.value, s.micro) for s in stage_spans]
+            if actual_order != expected_order and len(actual_order) == len(expected_order):
+                problems.append(
+                    f"stage (p{p},k{k}) executed out of stream order: {actual_order[:6]}..."
+                )
+            for a, b in zip(stage_spans, stage_spans[1:]):
+                if b.start < a.end - eps:
+                    problems.append(
+                        f"stage (p{p},k{k}) spans overlap: "
+                        f"{a.kind.value}(mb{a.micro}) [{a.start:.6g},{a.end:.6g}] and "
+                        f"{b.kind.value}(mb{b.micro}) [{b.start:.6g},{b.end:.6g}]"
+                    )
+    return problems
+
+
+def inject_causality_violation(trace: TraceRecorder) -> str:
+    """Tamper with a recorded trace so a dependency is violated.
+
+    Used by ``repro verify --inject causality`` and the self-tests to
+    prove the checker actually fires: the first downstream forward is
+    rewound to start before its upstream producer finished.
+    """
+    for s in trace.compute_spans():
+        if s.kind == SpanKind.FWD and s.stage is not None and s.stage > 0:
+            duration = s.end - s.start
+            s.start = -1.0
+            s.end = s.start + max(duration, 1e-6)
+            return (
+                f"rewound F(p{s.pipeline},k{s.stage},mb{s.micro}) to start at {s.start}"
+            )
+    raise RuntimeError("trace has no downstream forward span to corrupt")
+
+
+# ---------------------------------------------------------------------- #
+# running cases
+
+
+@dataclass
+class FuzzResult:
+    """Outcome of one fuzz case."""
+
+    config: FuzzConfig
+    problems: list[str] = field(default_factory=list)
+    oomed: bool = False
+    spans_checked: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.problems
+
+    def describe(self) -> str:
+        status = "ok" if self.ok else f"{len(self.problems)} problem(s)"
+        mem = "oom" if self.oomed else "fit"
+        return f"{self.config.describe()} -> {mem}, {self.spans_checked} spans, {status}"
+
+
+def run_fuzz_case(cfg: FuzzConfig) -> FuzzResult:
+    """Execute one config and check schedule, memory and causality."""
+    result = FuzzResult(config=cfg)
+    runner, bundle = build_runner(cfg)
+    schedule, num_stages = bundle.schedule, bundle.num_stages
+
+    static = check_schedule(schedule, num_stages, cfg.num_micro)
+    result.problems.extend(f"static: {v}" for v in static)
+
+    res = runner.run(iterations=cfg.iterations)
+    result.oomed = res.oom is not None
+
+    prediction, capacity = bundle.prediction, bundle.capacity
+    if prediction.must_fit(capacity) and result.oomed:
+        result.problems.append(
+            f"memory: model guarantees fit under capacity {capacity} "
+            f"(upper={prediction.upper}) but executor raised {res.oom!r}"
+        )
+    if prediction.must_oom(capacity) and not result.oomed:
+        result.problems.append(
+            f"memory: model guarantees OOM under capacity {capacity} "
+            f"(lower={prediction.lower}) but the run completed"
+        )
+    if not result.oomed:
+        peaks = tuple(res.peak_memory)
+        for dev, (peak, lo, hi) in enumerate(
+            zip(peaks, prediction.lower, prediction.upper)
+        ):
+            if not lo <= peak <= hi:
+                result.problems.append(
+                    f"memory: device {dev} peaked at {peak}, outside model bounds [{lo}, {hi}]"
+                )
+        streams = [
+            schedule.stage_ops(k, num_stages, cfg.num_micro) for k in range(num_stages)
+        ]
+        result.spans_checked = len(runner.trace.compute_spans())
+        result.problems.extend(
+            f"causality: {p}"
+            for p in check_trace_causality(
+                runner.trace, streams, cfg.num_micro, cfg.iterations, cfg.num_pipelines
+            )
+        )
+    return result
+
+
+def run_fuzz(count: int, seed: int = 0) -> list[FuzzResult]:
+    """Run a reproducible fuzz budget; results in config order."""
+    return [run_fuzz_case(cfg) for cfg in fuzz_configs(count, seed=seed)]

@@ -1,0 +1,32 @@
+"""Shared test configuration: deterministic RNG per test.
+
+Two sources of cross-run flakiness are closed here:
+
+* legacy ``np.random.*`` calls (global-state NumPy) — the autouse fixture
+  reseeds the global state per test from a hash of the test's nodeid, so
+  every test sees the same stream on every run and reordering tests
+  cannot shift another test's randomness;
+* hypothesis — the ``repro`` profile derandomizes example generation and
+  disables the example database, so property tests explore the same
+  examples on every run instead of accumulating machine-local failures.
+"""
+
+import hashlib
+
+import numpy as np
+import pytest
+from hypothesis import settings
+
+from repro.utils.seeding import set_global_seed
+
+settings.register_profile("repro", derandomize=True, database=None)
+settings.load_profile("repro")
+
+
+@pytest.fixture(autouse=True)
+def _seed_per_test(request):
+    digest = hashlib.blake2b(request.node.nodeid.encode(), digest_size=4).digest()
+    seed = int.from_bytes(digest, "big")
+    np.random.seed(seed)
+    set_global_seed(0)
+    yield

@@ -50,3 +50,31 @@ class TestCommands:
         assert code == 0
         out = capsys.readouterr().out
         assert "fig07" in out
+
+
+class TestVerify:
+    def test_verify_defaults(self):
+        args = build_parser().parse_args(["verify"])
+        assert args.fuzz == 25
+        assert args.tol == 1e-9
+        assert args.inject == "none"
+
+    def test_verify_quick_passes(self, capsys):
+        code = main(["verify", "--quick", "--fuzz", "5"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "all checks passed" in out
+        assert "worst |delta| = 0" in out
+
+    def test_verify_fails_on_corrupted_schedule(self, capsys):
+        code = main(["verify", "--quick", "--fuzz", "0", "--inject", "swapped-bwd"])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "SANITIZER" in out
+        assert "FAILED" in out
+
+    def test_verify_fails_on_injected_causality_violation(self, capsys):
+        code = main(["verify", "--quick", "--fuzz", "0", "--inject", "causality"])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "CAUSALITY" in out

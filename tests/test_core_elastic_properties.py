@@ -112,6 +112,140 @@ def test_sum_is_n_times_mean_on_the_reference(updates):
         assert np.allclose(step_sum, n * step_mean, atol=1e-4)
 
 
+# ---------------------------------------------------------------------- #
+# alpha = 1/N fixed point
+
+
+@pytest.mark.parametrize("n", [2, 3, 4])
+def test_alpha_reciprocal_zero_update_is_a_fixed_point(n):
+    """All pipelines equal and no local progress: the averaging round must
+    change nothing — the reference exactly (zero accumulated update), the
+    models up to dilution round-off ((1-a)x + a*x re-rounds unless a is a
+    power of two, so n in {2, 4} is bitwise and n = 3 is within 1 ulp)."""
+    framework, models = make_framework(n, alpha=None)  # alpha defaults to 1/N
+    ref0 = {k: v.copy() for k, v in framework.reference.items()}
+    states0 = [m.state_dict() for m in models]
+    apply_updates(framework, models, [np.float32(0.0)] * n)
+    for name in ref0:
+        np.testing.assert_array_equal(framework.reference[name], ref0[name])
+    for model, s0 in zip(models, states0):
+        for k, v in model.state_dict().items():
+            if n in (2, 4):  # 1/n exactly representable: dilution is exact
+                np.testing.assert_array_equal(v, s0[k])
+            else:
+                np.testing.assert_allclose(v, s0[k], rtol=2e-7, atol=0)
+    assert framework.divergence() < 1e-6
+
+
+@settings(max_examples=20, deadline=None)
+@given(update=st.floats(-0.5, 0.5), rounds=st.integers(1, 6))
+def test_identical_updates_keep_pipelines_identical(update, rounds):
+    """With alpha = 1/N, pipelines applying the *same* local update stay
+    bitwise equal to each other — elastic averaging introduces no
+    asymmetry between equally-progressing pipelines."""
+    framework, models = make_framework(3, alpha=None)
+    for _ in range(rounds):
+        apply_updates(framework, models, [np.float32(update)] * 3)
+        base = models[0].state_dict()
+        for m in models[1:]:
+            for k, v in m.state_dict().items():
+                np.testing.assert_array_equal(v, base[k])
+
+
+# ---------------------------------------------------------------------- #
+# center-update equivalence with classic EASGD
+
+
+def test_easgd_center_update_equivalence():
+    """One framework round (alpha = lr*rho, sync queue, local SGD) is
+    EASGD's round: workers move identically, and the centers move along
+    the same accumulated-update direction with the known scales — EASGD's
+    center gains alpha * sum(delta) while the mean-normalized reference
+    gains (1/N) * sum(delta), so delta_center = N * alpha * delta_ref
+    (they would coincide at alpha = 1/N, which EASGD's stability guard
+    n * alpha < 1 deliberately excludes)."""
+    from repro.optim import EASGD
+
+    n, lr, rho = 3, 0.5, 0.2
+    alpha = lr * rho
+
+    framework, fw_models = make_framework(n, alpha=alpha)
+    ea_models = [PipelineModel(layers=[_Probe()], name="probe") for _ in range(n)]
+    center = PipelineModel(layers=[_Probe()], name="probe")
+    base = fw_models[0].state_dict()
+    for m in (*ea_models, center):
+        m.load_state_dict(base)
+    easgd = EASGD(ea_models, center, lr=lr, rho=rho)
+
+    rng = np.random.default_rng(17)
+    grads = [
+        {name: rng.standard_normal(p.shape).astype(np.float32) for name, p in m.named_parameters()}
+        for m in fw_models
+    ]
+    ref_before = {k: v.copy() for k, v in framework.reference.items()}
+    center_before = center.state_dict()
+
+    for i, model in enumerate(fw_models):
+        before = framework.capture(i)
+        for name, p in model.named_parameters():
+            p.data = p.data - lr * grads[i][name]  # EASGD.local_step's update
+        framework.commit(i, before)
+    framework.end_iteration()
+
+    for i, model in enumerate(ea_models):
+        for name, p in model.named_parameters():
+            p.grad = grads[i][name]
+        easgd.local_step(i)
+    easgd.sync()
+
+    for fw_m, ea_m in zip(fw_models, ea_models):
+        for k, v in fw_m.state_dict().items():
+            np.testing.assert_allclose(v, ea_m.state_dict()[k], atol=1e-6)
+    center_after = center.state_dict()
+    for name in ref_before:
+        delta_ref = framework.reference[name] - ref_before[name]
+        delta_center = center_after[name] - center_before[name]
+        np.testing.assert_allclose(delta_center, n * alpha * delta_ref, atol=1e-6)
+
+
+# ---------------------------------------------------------------------- #
+# conservation of the weighted mean
+
+
+@settings(max_examples=20, deadline=None)
+@given(updates=updates_strategy, seed=st.integers(0, 100))
+def test_one_round_conserves_sum_of_models_plus_reference(updates, seed):
+    """With alpha = 1/N, mean normalization and a synchronous queue, one
+    averaging round redistributes but does not create mass: starting from
+    reference == mean(models) (the constructor's invariant),
+    sum(models) + reference is the same before dilution and after the
+    reference applied the accumulated update."""
+    n = len(updates)
+    models = [PipelineModel(layers=[_Probe()], name="probe") for _ in range(n)]
+    rng = np.random.default_rng(seed)
+    for m in models:  # distinct starting points — conservation must not rely on symmetry
+        for _, p in m.named_parameters():
+            p.data = rng.standard_normal(p.shape).astype(np.float32)
+    framework = ElasticAveragingFramework(models, alpha=None, queue_delay=0)
+
+    post_opt_total: dict[str, np.ndarray] = {}
+    for i, (model, upd) in enumerate(zip(models, updates)):
+        before = framework.capture(i)
+        for name, p in model.named_parameters():
+            p.data = p.data + np.float32(upd)
+            post_opt_total[name] = post_opt_total.get(name, 0.0) + p.data.astype(np.float64)
+        framework.commit(i, before)
+    ref_before = {k: v.astype(np.float64) for k, v in framework.reference.items()}
+    framework.end_iteration()
+
+    for name in ref_before:
+        total_before = post_opt_total[name] + ref_before[name]
+        total_after = sum(
+            dict(m.named_parameters())[name].data.astype(np.float64) for m in models
+        ) + framework.reference[name].astype(np.float64)
+        np.testing.assert_allclose(total_after, total_before, atol=1e-5)
+
+
 @settings(max_examples=15, deadline=None)
 @given(seed=st.integers(0, 1000))
 def test_divergence_bounded_under_bounded_updates(seed):

@@ -105,7 +105,10 @@ def test_advance_between_the_endpoints(case, advance):
     t_afab = run_case(AFABSchedule(), fwd, act, m, mb).batch_time
     t_adv = run_case(AdvanceFPSchedule(min(advance, m)), fwd, act, m, mb).batch_time
     t_1f1b = run_case(OneFOneBSchedule(versions=1), fwd, act, m, mb).batch_time
-    assert t_afab * 0.90 <= t_adv <= t_1f1b * 1.10
+    # The band edges are float sums of simulated event times; an absolute
+    # epsilon keeps exact-boundary cases from failing on rounding alone.
+    eps = 1e-6 * max(t_afab, t_1f1b)
+    assert t_afab * 0.90 - eps <= t_adv <= t_1f1b * 1.10 + eps
 
 
 @settings(max_examples=10, deadline=None)

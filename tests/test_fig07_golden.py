@@ -1,0 +1,49 @@
+"""Golden regression test for the Figure 7 artifact.
+
+The benchmark suite regenerates ``benchmarks/results/fig07_schedule_timelines.txt``
+on every run; this test pins it.  It re-runs the (fast, K=2, M=4)
+experiment, re-renders the table and the ASCII timelines exactly the way
+the benchmark does, and compares byte-for-byte against the checked-in
+artifact.  Any drift in the simulator, the schedules, or the timeline
+renderer that changes the figure now fails loudly here instead of
+silently rewriting the golden file on the next benchmark run.
+"""
+
+import pathlib
+
+from repro.experiments import run_fig07
+from repro.utils import format_table
+
+GOLDEN = (
+    pathlib.Path(__file__).parent.parent
+    / "benchmarks"
+    / "results"
+    / "fig07_schedule_timelines.txt"
+)
+
+
+def render_fig07() -> str:
+    """Render the artifact exactly as benchmarks/test_fig07_schedule_timelines.py emits it."""
+    rows = run_fig07()["rows"]
+    table = format_table(
+        ["schedule", "batch time (ms)", "peak mem (MiB)", "act stash (MiB)"],
+        [[r.schedule, r.batch_time * 1e3, r.peak_memory / 2**20, r.stash_peak / 2**20] for r in rows],
+        title="Figure 7 — one batch, K=2, M=4",
+    )
+    art = "\n\n".join(f"{r.schedule}:\n{r.timeline}" for r in rows)
+    return table + "\n\n" + art + "\n"
+
+
+def test_fig07_artifact_matches_golden():
+    assert GOLDEN.exists(), f"golden artifact missing: {GOLDEN}"
+    fresh = render_fig07()
+    golden = GOLDEN.read_text()
+    assert fresh == golden, (
+        "fig07 artifact drifted from benchmarks/results/fig07_schedule_timelines.txt; "
+        "if the change is intentional, regenerate it with "
+        "`PYTHONPATH=src python -m pytest benchmarks/test_fig07_schedule_timelines.py`"
+    )
+
+
+def test_fig07_render_is_deterministic():
+    assert render_fig07() == render_fig07()

@@ -1,0 +1,95 @@
+"""Config fuzzer + trace causality checker: a seeded fuzz budget is
+reproducible, every drawn config passes, the OOM prediction is an iff,
+and an injected causality violation is detected."""
+
+import pytest
+
+from repro.verify.fuzz import (
+    build_runner,
+    check_trace_causality,
+    fuzz_configs,
+    inject_causality_violation,
+    run_fuzz,
+    run_fuzz_case,
+)
+
+
+def test_fuzz_configs_reproducible():
+    a = fuzz_configs(10, seed=4)
+    b = fuzz_configs(10, seed=4)
+    assert a == b
+    c = fuzz_configs(10, seed=5)
+    assert a != c
+
+
+def test_fuzz_budget_passes():
+    results = run_fuzz(15, seed=0)
+    assert len(results) == 15
+    for r in results:
+        assert r.ok, r.describe() + "\n" + "\n".join(r.problems)
+
+
+def test_fuzz_covers_both_memory_regimes():
+    configs = fuzz_configs(40, seed=1)
+    regimes = {c.memory_regime for c in configs}
+    assert regimes == {"fits", "oom"}
+    placements = {c.placement for c in configs}
+    assert "chimera" in placements or "interleaved" in placements
+
+
+def test_oom_regime_actually_ooms():
+    cfg = next(c for c in fuzz_configs(60, seed=2) if c.memory_regime == "oom")
+    result = run_fuzz_case(cfg)
+    assert result.oomed
+    assert result.ok, "\n".join(result.problems)
+
+
+def test_fits_regime_checks_spans():
+    cfg = next(c for c in fuzz_configs(60, seed=2) if c.memory_regime == "fits")
+    result = run_fuzz_case(cfg)
+    assert not result.oomed
+    assert result.spans_checked > 0
+    assert result.ok, "\n".join(result.problems)
+
+
+def _run_clean_case(seed=3):
+    cfg = next(
+        c for c in fuzz_configs(60, seed=seed)
+        if c.memory_regime == "fits" and c.num_stages >= 2 and c.placement == "straight"
+    )
+    runner, bundle = build_runner(cfg)
+    runner.run(iterations=cfg.iterations)
+    streams = [
+        bundle.schedule.stage_ops(k, bundle.num_stages, cfg.num_micro)
+        for k in range(bundle.num_stages)
+    ]
+    return cfg, runner, streams
+
+
+def test_clean_trace_is_causally_sound():
+    cfg, runner, streams = _run_clean_case()
+    problems = check_trace_causality(
+        runner.trace, streams, cfg.num_micro, cfg.iterations, cfg.num_pipelines
+    )
+    assert problems == []
+
+
+def test_injected_violation_is_detected():
+    cfg, runner, streams = _run_clean_case()
+    msg = inject_causality_violation(runner.trace)
+    assert "rewound" in msg
+    problems = check_trace_causality(
+        runner.trace, streams, cfg.num_micro, cfg.iterations, cfg.num_pipelines
+    )
+    assert problems, "tampered trace passed the causality check"
+    assert any("before" in p for p in problems)
+
+
+def test_missing_span_is_detected():
+    cfg, runner, streams = _run_clean_case(seed=6)
+    spans = runner.trace.compute_spans()
+    runner.trace.spans.remove(spans[len(spans) // 2])
+    problems = check_trace_causality(
+        runner.trace, streams, cfg.num_micro, cfg.iterations, cfg.num_pipelines
+    )
+    assert any("expected" in p or "no recorded dependency" in p for p in problems)

@@ -1,0 +1,144 @@
+"""Schedule sanitizer: clean schedules lint clean, corruptions are caught,
+and the analytic memory model brackets (and, on straight chains, equals)
+the executor's actual peak ledger."""
+
+import pytest
+
+from repro.schedules import (
+    AFABSchedule,
+    AdvanceFPSchedule,
+    OneFOneBSchedule,
+    PipeDreamSchedule,
+    PipelineSimRunner,
+    StageCosts,
+)
+from repro.sim import ClusterSpec, Simulator, make_cluster
+from repro.verify import (
+    CorruptedSchedule,
+    ScheduleViolation,
+    assert_schedule_valid,
+    check_deadlock_free,
+    check_schedule,
+    check_stream,
+    corrupt_schedule,
+    predict_peak_memory,
+)
+from repro.verify.oracle import VERIFIED_SCHEDULES
+
+GRID = [(1, 1), (1, 4), (2, 2), (2, 8), (3, 5), (4, 4), (4, 8), (5, 12)]
+
+
+@pytest.mark.parametrize("name", sorted(VERIFIED_SCHEDULES))
+@pytest.mark.parametrize("num_stages,num_micro", GRID)
+def test_registered_schedules_lint_clean(name, num_stages, num_micro):
+    schedule = VERIFIED_SCHEDULES[name]()
+    assert check_schedule(schedule, num_stages, num_micro) == []
+
+
+@pytest.mark.parametrize("mode", CorruptedSchedule.MODES)
+@pytest.mark.parametrize("base", [AFABSchedule(), OneFOneBSchedule(1), AdvanceFPSchedule(1)])
+def test_corruptions_are_caught(mode, base):
+    violations = check_schedule(corrupt_schedule(base, mode), 3, 4)
+    assert violations, f"{mode} on {base.name} went undetected"
+    rules = {v.rule for v in violations}
+    expected = {
+        "swapped-bwd": "bwd-monotone",
+        "dropped-bwd": "bwd-exactly-once",
+        "dup-fwd": "fwd-exactly-once",
+        "cross-deadlock": "deadlock",
+    }[mode]
+    assert expected in rules, f"{mode}: expected {expected} in {rules}"
+
+
+def test_assert_schedule_valid_raises_with_findings():
+    with pytest.raises(ScheduleViolation) as exc:
+        assert_schedule_valid(corrupt_schedule(AFABSchedule(), "swapped-bwd"), 2, 4)
+    assert exc.value.violations
+    assert "bwd-monotone" in str(exc.value)
+
+
+def test_check_stream_flags_b_before_f():
+    from repro.schedules.base import StageOp
+
+    ops = [StageOp("bwd", 0), StageOp("fwd", 0)]
+    rules = {v.rule for v in check_stream(ops, 1)}
+    assert "b-before-f" in rules
+
+
+def test_check_stream_flags_micro_out_of_range():
+    from repro.schedules.base import StageOp
+
+    ops = [StageOp("fwd", 5), StageOp("bwd", 5)]
+    rules = {v.rule for v in check_stream(ops, 2)}
+    assert "micro-range" in rules
+
+
+def test_deadlock_free_on_clean_streams():
+    schedule = OneFOneBSchedule(1)
+    streams = [schedule.stage_ops(k, 4, 6) for k in range(4)]
+    assert check_deadlock_free(streams, 6) == []
+
+
+def test_stash_bound_advertised_matches_peak():
+    # AFAB stashes all M; 1F1B stage k peaks at K - k.
+    afab, ofob = AFABSchedule(), OneFOneBSchedule(1)
+    assert afab.stash_bound(0, 4, 8) == 8
+    for k in range(4):
+        assert ofob.stash_bound(k, 4, 8) == 4 - k
+
+
+# ---------------------------------------------------------------------- #
+# memory model vs the executor's ledger
+
+
+def _costs(k):
+    return StageCosts(
+        fwd_flops=(2.0e6,) * k,
+        act_out_bytes=(3.0e6,) * k,
+        stash_bytes=(7.0e6,) * k,
+        param_bytes=(1_000_000,) * k,
+    )
+
+
+@pytest.mark.parametrize("schedule", [AFABSchedule(), OneFOneBSchedule(2), AdvanceFPSchedule(1), PipeDreamSchedule()])
+@pytest.mark.parametrize("recompute", [False, True])
+def test_memory_model_exact_on_straight_chain(schedule, recompute):
+    K, M = 3, 4
+    costs = _costs(K)
+    device_map = [list(range(K))]
+    prediction = predict_peak_memory(
+        schedule, costs, M, K, device_map, activation_recompute=recompute
+    )
+    assert prediction.lower == prediction.upper  # one stage per device: exact
+
+    sim = Simulator()
+    cluster = make_cluster(
+        sim, K, spec=ClusterSpec(nodes=K, gpus_per_node=1, memory_bytes=2**31)
+    )
+    runner = PipelineSimRunner(
+        cluster, schedule, costs, num_micro=M, mb_size=4.0,
+        activation_recompute=recompute,
+    )
+    result = runner.run(iterations=1)
+    assert result.oom is None
+    assert tuple(result.peak_memory) == prediction.lower
+
+
+def test_memory_model_oom_decision():
+    K, M = 2, 4
+    costs = _costs(K)
+    prediction = predict_peak_memory(AFABSchedule(), costs, M, K, [list(range(K))])
+    tight = max(prediction.lower)
+    assert prediction.must_fit(tight)
+    assert not prediction.must_oom(tight)
+    assert prediction.must_oom(tight - 1)
+
+
+def test_reference_model_memory_charged_to_pipeline_zero():
+    K, M = 2, 4
+    costs = _costs(K)
+    base = predict_peak_memory(AFABSchedule(), costs, M, K, [list(range(K))])
+    with_ref = predict_peak_memory(
+        AFABSchedule(), costs, M, K, [list(range(K))], with_reference_model=True
+    )
+    assert [hi - lo for hi, lo in zip(with_ref.upper, base.upper)] == list(costs.param_bytes)
