@@ -5,6 +5,8 @@
     python -m repro train awd --epochs 10     # real elastic-averaging training
     python -m repro figure fig17              # regenerate one paper figure
     python -m repro timeline --schedule 1f1b  # render a schedule timeline
+    python -m repro verify --quick            # oracle + sanitizer + fuzzer
+    python -m repro chaos --scenario smoke    # fault injection + recovery
 
 Every command prints plain-text tables (no plotting dependencies) and is
 deterministic for a given seed.
@@ -251,6 +253,24 @@ def _cmd_verify(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    """Run one seeded fault scenario end to end and print the report."""
+    from repro.resilience import SCENARIOS, run_scenario
+
+    if args.list:
+        for name, scenario in sorted(SCENARIOS.items()):
+            print(f"{name:12s} {scenario.description}")
+        return 0
+    report = run_scenario(args.scenario, seed=args.seed, recovery=not args.no_recovery)
+    if args.json:
+        import json
+
+        print(json.dumps(report.to_dict(), indent=2, default=float))
+    else:
+        print(report.render())
+    return 0 if report.recovered else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argparse tree for the ``repro`` CLI."""
     parser = argparse.ArgumentParser(prog="repro", description=__doc__,
@@ -305,6 +325,18 @@ def build_parser() -> argparse.ArgumentParser:
                             "cross-deadlock", "causality"],
                    help="deliberately corrupt a schedule or trace; verify must then fail")
     p.set_defaults(fn=_cmd_verify)
+
+    p = sub.add_parser("chaos", help="seeded fault injection + recovery scenarios")
+    p.add_argument("--scenario", default="smoke",
+                   choices=["smoke", "blackout", "straggler", "partition"],
+                   help="named fault scenario (see --list)")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--no-recovery", action="store_true",
+                   help="disable recovery policies; a detected failure then "
+                        "stays unrecovered and the exit code is non-zero")
+    p.add_argument("--json", action="store_true", help="emit the report as JSON")
+    p.add_argument("--list", action="store_true", help="list scenarios and exit")
+    p.set_defaults(fn=_cmd_chaos)
     return parser
 
 

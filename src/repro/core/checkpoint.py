@@ -23,7 +23,10 @@ from repro.core.trainer import AvgPipeTrainer
 
 __all__ = ["save_trainer", "load_trainer"]
 
-_FORMAT_VERSION = 1
+#: v2 adds per-model RNG streams, the alpha-auto bit and resizable loads
+#: (repro.resilience recovery); v1 checkpoints still load.
+_FORMAT_VERSION = 2
+_SUPPORTED_FORMATS = (1, 2)
 
 
 def _flatten(prefix: str, state: dict) -> dict[str, np.ndarray]:
@@ -32,6 +35,31 @@ def _flatten(prefix: str, state: dict) -> dict[str, np.ndarray]:
     for key, value in state.items():
         out[f"{prefix}/{key}"] = np.asarray(value)
     return out
+
+
+def _model_rng_states(model) -> list[dict]:
+    """Every submodule RNG's bit-generator state, in traversal order.
+
+    Dropout/weight-drop streams are part of the training trajectory; a
+    deterministic restart-from-checkpoint must resume them mid-stream,
+    not re-seed them."""
+    return [
+        module._rng.bit_generator.state
+        for layer in model.layers
+        for module in layer.modules()
+    ]
+
+
+def _restore_model_rngs(model, states: list[dict]) -> None:
+    modules = [m for layer in model.layers for m in layer.modules()]
+    if len(modules) != len(states):
+        raise ValueError(
+            f"checkpoint has {len(states)} RNG streams, model has {len(modules)} modules"
+        )
+    for module, state in zip(modules, states):
+        rng = np.random.default_rng()
+        rng.bit_generator.state = state
+        object.__setattr__(module, "_rng", rng)
 
 
 def save_trainer(trainer: AvgPipeTrainer, path: str | pathlib.Path) -> None:
@@ -46,6 +74,8 @@ def save_trainer(trainer: AvgPipeTrainer, path: str | pathlib.Path) -> None:
         "queue_now": trainer.framework.queue.now,
         "update_normalization": trainer.framework.update_normalization,
         "optimizer_lrs": [opt.lr for opt in trainer.optimizers],
+        "alpha_auto": trainer.framework._alpha_auto,
+        "rng": [_model_rng_states(m) for m in trainer.models],
     }
     for i, model in enumerate(trainer.models):
         arrays.update(_flatten(f"model{i}", model.state_dict()))
@@ -68,22 +98,33 @@ def save_trainer(trainer: AvgPipeTrainer, path: str | pathlib.Path) -> None:
     np.savez(path, **arrays)
 
 
-def load_trainer(trainer: AvgPipeTrainer, path: str | pathlib.Path) -> AvgPipeTrainer:
+def load_trainer(
+    trainer: AvgPipeTrainer, path: str | pathlib.Path, allow_resize: bool = False
+) -> AvgPipeTrainer:
     """Restore state saved by :func:`save_trainer` into ``trainer``.
 
     The trainer must have been constructed with the same spec and
     ``num_pipelines``; mismatches raise rather than silently mixing runs.
+    With ``allow_resize=True`` a trainer with *more* pipelines than the
+    checkpoint is first shrunk to match (the recovery path: a checkpoint
+    taken after :meth:`~repro.core.trainer.AvgPipeTrainer.evict_pipeline`
+    restarts into a freshly-built N-pipeline trainer) — growing is still
+    an error, because the extra models' states would be invented.
     """
     path = pathlib.Path(path)
     with np.load(path, allow_pickle=False) as data:
         manifest = json.loads(bytes(data["__manifest__"]).decode("utf-8"))
-        if manifest["format"] != _FORMAT_VERSION:
+        if manifest["format"] not in _SUPPORTED_FORMATS:
             raise ValueError(f"unsupported checkpoint format {manifest['format']}")
-        if manifest["num_pipelines"] != trainer.num_pipelines:
-            raise ValueError(
-                f"checkpoint has {manifest['num_pipelines']} pipelines, "
-                f"trainer has {trainer.num_pipelines}"
-            )
+        ckpt_n = manifest["num_pipelines"]
+        if ckpt_n != trainer.num_pipelines:
+            if not (allow_resize and ckpt_n < trainer.num_pipelines):
+                raise ValueError(
+                    f"checkpoint has {ckpt_n} pipelines, "
+                    f"trainer has {trainer.num_pipelines}"
+                )
+            while trainer.num_pipelines > ckpt_n:
+                trainer.evict_pipeline(trainer.num_pipelines - 1)
         for i, model in enumerate(trainer.models):
             prefix = f"model{i}/"
             state = {
@@ -129,4 +170,7 @@ def load_trainer(trainer: AvgPipeTrainer, path: str | pathlib.Path) -> AvgPipeTr
             opt.load_state_dict({"lr": manifest["optimizer_lrs"][i], "state": entries})
         trainer.framework.alpha = manifest["alpha"]
         trainer.framework.update_normalization = manifest["update_normalization"]
+        trainer.framework._alpha_auto = manifest.get("alpha_auto", False)
+        for model, states in zip(trainer.models, manifest.get("rng", [])):
+            _restore_model_rngs(model, states)
     return trainer

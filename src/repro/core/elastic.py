@@ -66,6 +66,9 @@ class ElasticAveragingFramework:
             raise ValueError(f"update_normalization must be 'sum' or 'mean', got {update_normalization!r}")
         self.models = list(parallel_models)
         n = len(self.models)
+        #: whether alpha tracks 1/N automatically — resize() renormalizes
+        #: an auto alpha to 1/N' but leaves an explicit one alone.
+        self._alpha_auto = alpha is None
         self.alpha = (1.0 / n) if alpha is None else float(alpha)
         if not 0.0 <= self.alpha <= 1.0:
             raise ValueError(f"alpha must be in [0, 1], got {self.alpha}")
@@ -93,6 +96,72 @@ class ElasticAveragingFramework:
     @property
     def num_parallel(self) -> int:
         return len(self.models)
+
+    # ------------------------------------------------------------------ #
+    # elastic resize (repro.resilience): evict / rejoin pipelines
+
+    def resize(self, keep: Sequence[int] | int, alpha: float | None = None) -> None:
+        """Shrink to a subset of the parallel models and renormalize α.
+
+        ``keep`` is either the new pipeline count N′ (the first N′ models
+        survive) or an explicit list of surviving indices.  If the
+        framework was constructed with the automatic α = 1/N, α becomes
+        1/N′; an explicitly chosen α is kept unless ``alpha`` overrides it.
+
+        The in-flight averaging round is discarded: partial accumulations
+        and queued deltas were produced under the old N's normalization
+        (and possibly by the dead pipeline), so mixing them into a 1/N′
+        round would break the conservation property the tests assert.
+        The reference itself is untouched — that is what makes eviction
+        semantics-preserving: survivors keep pulling toward the same
+        center, now with weight 1/N′.
+        """
+        if isinstance(keep, int):
+            keep = list(range(keep))
+        keep = list(keep)
+        if not keep:
+            raise ValueError("resize needs at least one surviving model")
+        if len(set(keep)) != len(keep):
+            raise ValueError(f"duplicate indices in {keep}")
+        if any(not 0 <= i < len(self.models) for i in keep):
+            raise ValueError(f"index out of range in {keep}")
+        self.models = [self.models[i] for i in keep]
+        if alpha is not None:
+            self.alpha = float(alpha)
+        elif self._alpha_auto:
+            self.alpha = 1.0 / len(self.models)
+        self._discard_round()
+
+    def remove_model(self, index: int) -> None:
+        """Evict one parallel model (a crashed pipeline)."""
+        if len(self.models) == 1:
+            raise ValueError("cannot evict the last parallel model")
+        self.resize([i for i in range(len(self.models)) if i != index])
+
+    def add_model(self, model: PipelineModel, seed_from_reference: bool = True) -> int:
+        """Re-admit a pipeline; by default it restarts from the reference.
+
+        Seeding from the reference is what keeps a rejoin invisible to the
+        center: the newcomer's first dilution is a no-op and its first
+        delta is measured from the reference, exactly as if it had always
+        been there at the fixed point.  Returns the new model's index.
+        """
+        names = sorted(name for name, _ in model.named_parameters())
+        if names != sorted(self.reference):
+            raise ValueError("rejoining model has mismatched parameter structure")
+        if seed_from_reference:
+            model.load_state_dict(self.reference)
+        self.models.append(model)
+        if self._alpha_auto:
+            self.alpha = 1.0 / len(self.models)
+        self._discard_round()
+        return len(self.models) - 1
+
+    def _discard_round(self) -> None:
+        """Reset the in-flight accumulate round after a membership change."""
+        self._accumulated = {k: np.zeros_like(v) for k, v in self.reference.items()}
+        self._received = 0
+        self.queue.clear()
 
     # ------------------------------------------------------------------ #
     # pipeline-side steps

@@ -53,6 +53,17 @@ class MessageQueue(Generic[T]):
     def now(self) -> int:
         return self._now
 
+    def clear(self) -> int:
+        """Drop every pending message; returns how many were discarded.
+
+        Used by elastic resize (repro.resilience): in-flight updates were
+        computed under the old pipeline count's normalization and must not
+        leak into the resized round.
+        """
+        dropped = len(self._pending)
+        self._pending.clear()
+        return dropped
+
     def drain(self) -> list[T]:
         """Pop every message visible at the current tick (FIFO order)."""
         out: list[T] = []

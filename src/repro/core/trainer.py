@@ -253,6 +253,7 @@ class AvgPipeTrainer(_TrainerBase):
         super().__init__(spec, seed, max_epochs)
         if num_pipelines < 1:
             raise ValueError("num_pipelines must be >= 1")
+        self._alpha_auto = alpha is None
         if alpha is None:
             # The paper sets alpha = 1/N "empirically" on its testbed; the
             # same empirical tuning at this miniature's scale (fewer, larger
@@ -277,15 +278,64 @@ class AvgPipeTrainer(_TrainerBase):
         self.loader = spec.make_train_loader(spec.batch_size, seed)
         self.eval_template = spec.build_model()
         self.runners = None
+        self._partition = partition
+        self._schedule = schedule
         if partition is not None:
             from repro.core.pipeline import PipelinedRunner
             from repro.schedules.base import AdvanceFPSchedule
 
             self.num_micro = num_micro or 4
+            self._schedule = schedule or AdvanceFPSchedule(1)
             self.runners = [
-                PipelinedRunner(m, partition, schedule or AdvanceFPSchedule(1))
+                PipelinedRunner(m, partition, self._schedule)
                 for m in self.models
             ]
+
+    # ------------------------------------------------------------------ #
+    # failure recovery hooks (repro.resilience)
+
+    def evict_pipeline(self, index: int) -> None:
+        """Drop a dead pipeline and continue with N−1 survivors.
+
+        The elastic framework renormalizes α (to the trainer's tuned
+        0.5/N′ when α was auto, i.e. the same empirical rule at the new
+        count) and discards the in-flight averaging round; the survivors'
+        models, optimizers and the reference are untouched.
+        """
+        if self.num_pipelines == 1:
+            raise RuntimeError("cannot evict the last pipeline")
+        if not 0 <= index < self.num_pipelines:
+            raise ValueError(f"pipeline index {index} out of range")
+        survivors = [i for i in range(self.num_pipelines) if i != index]
+        new_alpha = (0.5 / len(survivors)) if self._alpha_auto else None
+        self.framework.resize(survivors, alpha=new_alpha)
+        del self.models[index]
+        del self.optimizers[index]
+        if self.runners is not None:
+            del self.runners[index]
+        self.num_pipelines -= 1
+
+    def rejoin_pipeline(self, seed: int | None = None) -> int:
+        """Re-admit a pipeline seeded from the current reference model.
+
+        A fresh model (weights overwritten by the reference) and a fresh
+        optimizer (recovered processes lose their moment estimates) join
+        the framework; α renormalizes back to 0.5/N′ when auto.  Returns
+        the new pipeline's index.
+        """
+        rejoin_seed = self.seed * 7919 + self.num_pipelines if seed is None else seed
+        model = self.spec.build_model().seed(rejoin_seed)
+        index = self.framework.add_model(model, seed_from_reference=True)
+        if self._alpha_auto:
+            self.framework.alpha = 0.5 / self.framework.num_parallel
+        self.models.append(model)
+        self.optimizers.append(self.spec.make_optimizer(model))
+        if self.runners is not None:
+            from repro.core.pipeline import PipelinedRunner
+
+            self.runners.append(PipelinedRunner(model, self._partition, self._schedule))
+        self.num_pipelines += 1
+        return index
 
     def _compute_gradients(self, i: int, batch: dict) -> None:
         """Whole-model or faithful stage-sliced backward for model ``i``."""

@@ -1,0 +1,191 @@
+"""Recovery policies: what to do once a failure is detected.
+
+The paper's elastic-averaging design makes pipelines *individually
+expendable*: they couple only through α-pulls toward the shared
+reference, so the natural recovery ladder is
+
+* :class:`EvictPipeline` — drop the dead pipeline and renormalize
+  α = 1/N′ (via :meth:`ElasticAveragingFramework.resize`); training
+  continues at N−1 with the reference trajectory intact.  Cheapest, and
+  the policy of record for single-pipeline crashes.
+* :class:`RejoinPipeline` — a recovered (or replacement) pipeline
+  re-enters seeded from the reference model, and α renormalizes back up.
+  Because the newcomer starts *at* the reference, its first diluted
+  deltas are ordinary descent steps — no transient shock to the
+  consensus trajectory (property-tested).
+* :class:`RestartFromCheckpoint` — for correlated failures (a device
+  crash takes a stage of *every* pipeline): reload the last full
+  checkpoint, including the averaging clock and per-module RNG streams,
+  optionally shrinking to the checkpoint's N (``allow_resize``).
+* :class:`RetunePlan` — stragglers don't kill anyone; they change the
+  performance model.  Re-invoke the profiling tuner against a cluster
+  spec degraded by the observed slowdown to re-pick (M, N).
+
+:class:`RecoveryManager` routes :class:`FailureReport`\\ s to the first
+policy that claims them and keeps a timeline of
+:class:`RecoveryRecord`\\ s for the chaos report.
+"""
+
+from __future__ import annotations
+
+import copy
+import dataclasses
+from dataclasses import dataclass, field
+
+from repro.core.tuner import ProfilingTuner, TuningOutcome
+from repro.resilience.detector import FailureReport
+
+__all__ = [
+    "RecoveryRecord",
+    "RecoveryPolicy",
+    "EvictPipeline",
+    "RejoinPipeline",
+    "RestartFromCheckpoint",
+    "RetunePlan",
+    "RecoveryManager",
+]
+
+
+@dataclass
+class RecoveryRecord:
+    """One applied recovery action, for the chaos timeline."""
+
+    policy: str
+    report: FailureReport
+    recovered_at: float
+    details: dict = field(default_factory=dict)
+
+
+class RecoveryPolicy:
+    """Base class: claims report kinds and mutates the trainer."""
+
+    name = "base"
+    handles_kinds: tuple[str, ...] = ()
+
+    def handles(self, report: FailureReport) -> bool:
+        return report.kind in self.handles_kinds
+
+    def apply(self, trainer, report: FailureReport) -> dict:
+        raise NotImplementedError
+
+
+class EvictPipeline(RecoveryPolicy):
+    """Drop the crashed pipeline; renormalize α = 1/N′; keep going."""
+
+    name = "evict"
+    handles_kinds = ("pipeline_crash",)
+
+    def apply(self, trainer, report: FailureReport) -> dict:
+        trainer.evict_pipeline(report.target)
+        return {
+            "evicted": report.target,
+            "num_pipelines": trainer.num_pipelines,
+            "alpha": trainer.framework.alpha,
+        }
+
+
+class RejoinPipeline(RecoveryPolicy):
+    """Re-admit a pipeline seeded from the reference model.
+
+    Not report-driven: re-admission happens when capacity returns, so
+    call :meth:`apply` directly (``report=None``) or route a synthetic
+    ``pipeline_rejoin`` report through a manager.
+    """
+
+    name = "rejoin"
+    handles_kinds = ("pipeline_rejoin",)
+
+    def __init__(self, seed: int | None = None) -> None:
+        self.seed = seed
+
+    def apply(self, trainer, report: FailureReport | None = None) -> dict:
+        index = trainer.rejoin_pipeline(seed=self.seed)
+        return {
+            "joined_as": index,
+            "num_pipelines": trainer.num_pipelines,
+            "alpha": trainer.framework.alpha,
+        }
+
+
+class RestartFromCheckpoint(RecoveryPolicy):
+    """Reload full training state after a correlated (device) failure."""
+
+    name = "restart"
+    handles_kinds = ("device_crash",)
+
+    def __init__(self, path, allow_resize: bool = True) -> None:
+        self.path = path
+        self.allow_resize = allow_resize
+
+    def apply(self, trainer, report: FailureReport) -> dict:
+        from repro.core.checkpoint import load_trainer
+
+        load_trainer(trainer, self.path, allow_resize=self.allow_resize)
+        return {
+            "checkpoint": str(self.path),
+            "num_pipelines": trainer.num_pipelines,
+            "alpha": trainer.framework.alpha,
+        }
+
+
+class RetunePlan(RecoveryPolicy):
+    """Re-pick (M, N) for a cluster degraded by an observed straggler.
+
+    Holds everything needed to rebuild the profiling tuner; on a
+    straggler report it divides ``peak_flops`` by the observed slowdown
+    (``report.severity``) and re-runs the paper's tuning procedure.  The
+    outcome is returned, not applied — re-partitioning a live run is the
+    orchestrator's call.
+    """
+
+    name = "retune"
+    handles_kinds = ("straggler",)
+
+    def __init__(
+        self,
+        profiler,
+        memory_limit_bytes: float,
+        m_candidates: list[int] | None = None,
+        n_candidates: list[int] | None = None,
+    ) -> None:
+        self.profiler = profiler
+        self.memory_limit_bytes = memory_limit_bytes
+        self.m_candidates = m_candidates
+        self.n_candidates = n_candidates
+        self.last_outcome: TuningOutcome | None = None
+
+    def apply(self, trainer, report: FailureReport) -> dict:
+        degraded_spec = dataclasses.replace(
+            self.profiler.cluster_spec,
+            peak_flops=self.profiler.cluster_spec.peak_flops / max(report.severity, 1.0),
+        )
+        degraded_profiler = copy.copy(self.profiler)
+        degraded_profiler.cluster_spec = degraded_spec
+        tuner = ProfilingTuner(degraded_profiler, self.memory_limit_bytes)
+        outcome = tuner.tune(self.m_candidates, self.n_candidates)
+        self.last_outcome = outcome
+        return {
+            "slowdown": report.severity,
+            "m": outcome.m,
+            "n": outcome.n,
+            "measured_batch_time": outcome.measured_batch_time,
+        }
+
+
+class RecoveryManager:
+    """Routes failure reports to policies and keeps the timeline."""
+
+    def __init__(self, policies: list[RecoveryPolicy]) -> None:
+        self.policies = policies
+        self.records: list[RecoveryRecord] = []
+        self.unhandled: list[FailureReport] = []
+
+    def handle(self, report: FailureReport, trainer, now: float) -> RecoveryRecord | None:
+        for policy in self.policies:
+            if policy.handles(report):
+                details = policy.apply(trainer, report)
+                record = RecoveryRecord(policy.name, report, now, details)
+                self.records.append(record)
+                return record
+        self.unhandled.append(report)
+        return None

@@ -211,9 +211,58 @@ class PipelineSimRunner:
         #: trading ~1x forward flops for the stash memory.
         self.activation_recompute = activation_recompute
         self.trace = TraceRecorder()
+        #: pipelines aborted mid-run (repro.resilience fault injection).
+        self._crashed: set[int] = set()
+        #: sim time of each pipeline's last completed compute span — the
+        #: progress clock heartbeat detectors watch.
+        self.last_progress: dict[int, float] = {}
+        #: batches fully completed per pipeline (barrier passages).
+        self.iterations_completed: list[int] = []
+        self._stash_outstanding: dict[tuple[int, int], int] = {}
+        self._act_ready = None
+        self._grad_ready = None
+        self._stage_done = None
 
     def _device_of(self, pipeline: int, stage: int) -> int:
         return self.device_map[pipeline][stage]
+
+    # ------------------------------------------------------------------ #
+    # fault injection (repro.resilience)
+
+    def crash_pipeline(self, pipeline: int) -> None:
+        """Abort one pipeline mid-iteration and let its stages drain.
+
+        Marks the pipeline crashed and wakes every stage process of it that
+        is blocked on a data dependency or batch barrier; each woken stage
+        notices the flag, frees the activation stash it still holds and
+        returns.  Other pipelines are untouched — they only shared device
+        time with the victim.  Stages stuck inside a kernel on a *frozen*
+        device cannot be woken (nothing completes on a dead device); their
+        stash stays allocated, like a real dead process's memory.
+        """
+        if self._act_ready is None:
+            raise RuntimeError("no run in progress")
+        if not 0 <= pipeline < self.num_pipelines:
+            raise ValueError(f"pipeline index {pipeline} out of range")
+        if pipeline in self._crashed:
+            return
+        self._crashed.add(pipeline)
+        for per_stage in (self._act_ready[pipeline], self._grad_ready[pipeline]):
+            for tags in per_stage:
+                for tag in tags:
+                    if not tag.event.triggered:
+                        tag.event.succeed()
+        for per_it in self._stage_done[pipeline]:
+            for ev in per_it:
+                if not ev.triggered:
+                    ev.succeed()
+
+    def _drain_stage(self, pipeline: int, stage: int, device) -> None:
+        """Free the stash a crashed pipeline's stage still holds."""
+        key = (pipeline, stage)
+        outstanding = self._stash_outstanding.pop(key, 0)
+        if outstanding:
+            device.memory.free(outstanding * self._stash_bytes(stage), tag="activations")
 
     # ------------------------------------------------------------------ #
 
@@ -246,6 +295,12 @@ class PipelineSimRunner:
         stage_done = [
             [[sim.event() for _ in range(K)] for _ in range(iterations)] for _ in range(N)
         ]
+        # Exposed for crash_pipeline (fault injection mid-run).
+        self._crashed = set()
+        self._act_ready, self._grad_ready, self._stage_done = act_ready, grad_ready, stage_done
+        self._stash_outstanding = {}
+        self.last_progress = {p: start_time for p in range(N)}
+        self.iterations_completed = [0] * N
 
         processes = []
         for p in range(N):
@@ -387,7 +442,13 @@ class PipelineSimRunner:
         for it in range(iterations):
             if oom_box:
                 return
+            if pipeline in self._crashed:
+                self._drain_stage(pipeline, stage, device)
+                return
             for op in ops:
+                if pipeline in self._crashed:
+                    self._drain_stage(pipeline, stage, device)
+                    return
                 mb = it * M + op.micro
                 if op.kind == "fwd":
                     # -- wait for the activation from upstream ---------------
@@ -395,6 +456,9 @@ class PipelineSimRunner:
                         yield from self._classified_wait(
                             sim, device.index, act_ready[pipeline][stage][mb]
                         )
+                        if pipeline in self._crashed:  # woken by the abort
+                            self._drain_stage(pipeline, stage, device)
+                            return
                     # -- stash activation memory -----------------------------
                     stash = self._stash_bytes(stage)
                     try:
@@ -402,6 +466,8 @@ class PipelineSimRunner:
                     except OutOfMemoryError as oom:
                         oom_box.append(oom)
                         return
+                    key = (pipeline, stage)
+                    self._stash_outstanding[key] = self._stash_outstanding.get(key, 0) + 1
                     # -- compute ---------------------------------------------
                     t0 = sim.now
                     yield device.run_kernel(
@@ -412,6 +478,7 @@ class PipelineSimRunner:
                         device.index, t0, sim.now, SpanKind.FWD, str(op.micro + 1),
                         pipeline=pipeline, stage=stage, micro=mb,
                     )
+                    self.last_progress[pipeline] = sim.now
                     # -- ship the activation downstream (asynchronously) -----
                     if stage < K - 1:
                         self._send(
@@ -428,6 +495,9 @@ class PipelineSimRunner:
                         yield from self._classified_wait(
                             sim, device.index, grad_ready[pipeline][stage][mb]
                         )
+                        if pipeline in self._crashed:  # woken by the abort
+                            self._drain_stage(pipeline, stage, device)
+                            return
                     t0 = sim.now
                     bwd_flops = self.costs.fwd_flops[stage] * BWD_FLOP_FACTOR
                     if self.activation_recompute:
@@ -441,7 +511,10 @@ class PipelineSimRunner:
                         device.index, t0, sim.now, SpanKind.BWD, str(op.micro + 1),
                         pipeline=pipeline, stage=stage, micro=mb,
                     )
+                    self.last_progress[pipeline] = sim.now
                     device.memory.free(self._stash_bytes(stage), tag="activations")
+                    key = (pipeline, stage)
+                    self._stash_outstanding[key] = self._stash_outstanding.get(key, 1) - 1
                     if stage > 0:
                         self._send(
                             sim,
@@ -463,11 +536,17 @@ class PipelineSimRunner:
                     update_flops *= 2  # elastic pull + reference accumulate
                 yield device.compute.execute(update_flops, demand=0.25, name="opt")
                 self.trace.record(device.index, t0, sim.now, SpanKind.SYNC, "opt")
-                stage_done[pipeline][it][stage].succeed()
+                if not stage_done[pipeline][it][stage].triggered:  # abort may have fired it
+                    stage_done[pipeline][it][stage].succeed()
                 # All stages of this pipeline join before the next batch —
                 # the semantics of a per-batch optimizer step.
                 yield sim.all_of(stage_done[pipeline][it])
+                if pipeline in self._crashed:
+                    self._drain_stage(pipeline, stage, device)
+                    return
             # Async schedules (PipeDream) roll straight into the next batch.
+            if stage == 0:
+                self.iterations_completed[pipeline] = it + 1
 
     def _stash_bytes(self, stage: int) -> int:
         """Bytes held between a micro-batch's forward and its backward."""

@@ -65,11 +65,41 @@ class Device:
         self.curve = curve or UtilizationCurve()
         self.compute = SharedResource(sim, capacity=peak_flops, name=f"gpu{index}")
         self.memory = MemoryLedger(capacity=memory_bytes, device_name=f"gpu{index}")
+        self.failed = False
+        self._slowdown = 1.0
 
     def run_kernel(self, flops: float, micro_batch_size: float, name: str = "kernel") -> Event:
         """Submit a compute kernel; returns its completion event."""
         demand = self.curve.demand(micro_batch_size)
         return self.compute.execute(flops, demand, name=name)
+
+    # ------------------------------------------------------------------ #
+    # fault hooks (repro.resilience)
+
+    def fail(self) -> None:
+        """Crash the device: in-flight and future kernels make no progress."""
+        self.failed = True
+        self.compute.freeze()
+
+    def restore(self) -> None:
+        """Bring a crashed device back; frozen kernels resume."""
+        self.failed = False
+        self.compute.unfreeze()
+
+    @property
+    def slowdown(self) -> float:
+        return self._slowdown
+
+    def set_slowdown(self, factor: float) -> None:
+        """Throttle the device to ``peak_flops / factor`` (a straggler).
+
+        ``factor=1.0`` restores nominal speed.  Takes effect immediately,
+        including for kernels already in flight.
+        """
+        if factor < 1.0:
+            raise ValueError(f"slowdown factor must be >= 1, got {factor}")
+        self._slowdown = factor
+        self.compute.set_capacity(self.peak_flops / factor)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"Device(gpu{self.index}, node={self.node})"

@@ -39,6 +39,37 @@ class Link:
         self.pipe = SharedResource(
             sim, capacity=bandwidth_bytes_per_sec, name=name or f"link{src}->{dst}"
         )
+        self._degradation = 1.0
+
+    # ------------------------------------------------------------------ #
+    # fault hooks (repro.resilience)
+
+    @property
+    def degradation(self) -> float:
+        return self._degradation
+
+    @property
+    def partitioned(self) -> bool:
+        return self.pipe.frozen
+
+    def degrade(self, factor: float) -> None:
+        """Divide the effective bandwidth by ``factor`` (congestion, flaky
+        NIC); ``factor=1.0`` restores nominal.  In-flight transfers slow
+        down from this instant."""
+        if factor < 1.0:
+            raise ValueError(f"degradation factor must be >= 1, got {factor}")
+        self._degradation = factor
+        self.pipe.set_capacity(self.bandwidth / factor)
+
+    def sever(self) -> None:
+        """Network partition: transfers stall entirely until :meth:`heal`."""
+        self.pipe.freeze()
+
+    def heal(self) -> None:
+        """Undo :meth:`sever` and any degradation; stalled bytes resume."""
+        self._degradation = 1.0
+        self.pipe.set_capacity(self.bandwidth)
+        self.pipe.unfreeze()
 
     def transfer(self, nbytes: float, name: str = "xfer") -> Event:
         """Start a transfer now; the event fires on delivery."""

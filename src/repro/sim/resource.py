@@ -49,10 +49,12 @@ class SharedResource:
             raise ValueError(f"capacity must be positive, got {capacity}")
         self.sim = sim
         self.capacity = capacity
+        self.nominal_capacity = capacity
         self.name = name
         self._active: list[_ActiveTask] = []
         self._last_update = 0.0
         self._generation = 0
+        self._frozen = False
         # (time, total_granted_demand) steps for utilization traces.
         self.utilization_steps: list[tuple[float, float]] = [(0.0, 0.0)]
         self._observers: list[Callable[[float, float], None]] = []
@@ -85,6 +87,46 @@ class SharedResource:
         self._observers.append(fn)
 
     # ------------------------------------------------------------------ #
+    # fault hooks (repro.resilience): service-rate changes mid-flight
+
+    @property
+    def frozen(self) -> bool:
+        return self._frozen
+
+    def set_capacity(self, capacity: float) -> None:
+        """Change the service rate; in-flight tasks stretch/shrink from now.
+
+        Used by fault injection to model degraded links and straggling
+        devices: remaining work is settled at the old rates first, so a
+        capacity change is exact at any instant.
+        """
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self._settle()
+        self.capacity = capacity
+        self._reschedule()
+
+    def freeze(self) -> None:
+        """Halt service entirely (a crashed device / severed link).
+
+        Active tasks keep their remaining work but make no progress and
+        schedule no completion events until :meth:`unfreeze`.
+        """
+        if self._frozen:
+            return
+        self._settle()
+        self._frozen = True
+        self._reschedule()
+
+    def unfreeze(self) -> None:
+        """Resume service after :meth:`freeze`; tasks pick up where frozen."""
+        if not self._frozen:
+            return
+        self._settle()
+        self._frozen = False
+        self._reschedule()
+
+    # ------------------------------------------------------------------ #
 
     def _settle(self) -> None:
         """Decay remaining work by time elapsed at the current rates."""
@@ -108,17 +150,17 @@ class SharedResource:
         total_demand = sum(t.demand for t in self._active)
         scale = 1.0 if total_demand <= 1.0 else 1.0 / total_demand
         for task in self._active:
-            task.rate = task.demand * scale * self.capacity
+            task.rate = 0.0 if self._frozen else task.demand * scale * self.capacity
 
-        util = min(total_demand, 1.0)
+        util = 0.0 if self._frozen else min(total_demand, 1.0)
         if abs(util - self.utilization_steps[-1][1]) > 1e-12 or not self._active:
             self.utilization_steps.append((self.sim.now, util))
             for fn in self._observers:
                 fn(self.sim.now, util)
 
         self._generation += 1
-        if not self._active:
-            return
+        if not self._active or self._frozen:
+            return  # frozen: no completion event until unfreeze
         soonest = min(t.work_left / t.rate for t in self._active)
         generation = self._generation
         tick = self.sim.event(name=f"{self.name}.tick")

@@ -23,12 +23,14 @@ __all__ = ["SpanKind", "TraceRecorder"]
 
 
 class SpanKind(str, enum.Enum):
-    """What a recorded span was doing: fwd/bwd/comm/bubble/sync."""
+    """What a recorded span was doing: fwd/bwd/comm/bubble/sync/fault."""
     FWD = "fwd"
     BWD = "bwd"
     COMM = "comm"  # receive wait that blocks a stage process
     BUBBLE = "bubble"  # idle wait on upstream/downstream dependencies
     SYNC = "sync"  # optimizer / allreduce / averaging
+    FAULT = "fault"  # injected fault window (repro.resilience)
+    RECOVERY = "recovery"  # detection-to-recovery window
 
 
 @dataclass
@@ -87,6 +89,8 @@ class TraceRecorder:
         for span in self.spans:
             if span.device != device:
                 continue
+            if span.kind in (SpanKind.FAULT, SpanKind.RECOVERY):
+                continue  # annotation windows, not device work (see fault_spans)
             duration = span.end - span.start
             if span.kind in (SpanKind.FWD, SpanKind.BWD):
                 out["gpu"] += duration
@@ -97,6 +101,10 @@ class TraceRecorder:
             else:
                 out["sync"] += duration
         return out
+
+    def fault_spans(self) -> list[_Span]:
+        """Injected fault / recovery annotation windows (repro.resilience)."""
+        return [s for s in self.spans if s.kind in (SpanKind.FAULT, SpanKind.RECOVERY)]
 
     def idle_time(self, device: int) -> float:
         d = self.time_decomposition(device)

@@ -33,6 +33,7 @@ from repro.verify.oracle import (
     DifferentialReport,
     ElasticOracle,
     differential_check,
+    elastic_equivalence_check,
     make_toy_model,
     run_async_oracle,
     run_differential_sweep,
@@ -64,6 +65,7 @@ __all__ = [
     "DifferentialReport",
     "ElasticOracle",
     "differential_check",
+    "elastic_equivalence_check",
     "run_differential_sweep",
     "run_sync_oracle",
     "run_async_oracle",

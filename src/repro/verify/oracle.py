@@ -57,6 +57,7 @@ __all__ = [
     "DifferentialReport",
     "differential_check",
     "run_differential_sweep",
+    "elastic_equivalence_check",
 ]
 
 GRAD_CLIP = 5.0
@@ -380,6 +381,80 @@ class ElasticOracle:
                 self.reference[name] = self.reference[name] + scale * self._accumulated[name]
                 self._accumulated[name][...] = 0.0
             self._received = 0
+
+
+def elastic_equivalence_check(
+    framework: ElasticAveragingFramework,
+    build_model: Callable[[], PipelineModel],
+    rounds: int = 3,
+    seed: int = 0,
+    update_scale: float = 0.01,
+) -> float:
+    """Probe a *live* framework's state against a fresh :class:`ElasticOracle`.
+
+    Used by ``repro.resilience`` after a recovery action (evict / rejoin /
+    restart): clones the framework — current α, queue delay, normalization
+    and reference included — into independent model copies, then drives
+    the clone and an oracle seeded from the same state through ``rounds``
+    identical synthetic update rounds.  Returns the max absolute
+    divergence over the resulting references and model weights; any
+    nonzero drift means the resize left the framework inconsistent with
+    an independent §3.2 derivation at the new N.  The framework under
+    test is not mutated.
+    """
+    def clone_set():
+        clones = []
+        for m in framework.models:
+            c = build_model()
+            c.load_state_dict(m.state_dict())
+            clones.append(c)
+        return clones
+
+    clone_models, oracle_models = clone_set(), clone_set()
+    clone = ElasticAveragingFramework(
+        clone_models,
+        alpha=framework.alpha,
+        queue_delay=framework.queue.delay,
+        update_normalization=framework.update_normalization,
+    )
+    oracle = ElasticOracle(
+        oracle_models,
+        alpha=framework.alpha,
+        queue_delay=framework.queue.delay,
+        update_normalization=framework.update_normalization,
+    )
+    # Both start from the framework's *actual* reference, not the model
+    # average their constructors computed.
+    for holder in (clone, oracle):
+        holder.reference = {k: v.copy() for k, v in framework.reference.items()}
+        holder._accumulated = {k: np.zeros_like(v) for k, v in holder.reference.items()}
+
+    for r in range(rounds):
+        for i in range(len(clone.models)):
+            rng = derive_rng("elastic-probe", r, i, seed=seed)
+            updates = {
+                name: (rng.standard_normal(p.shape) * update_scale).astype(p.data.dtype)
+                for name, p in clone.models[i].named_parameters()
+            }
+            c_before = clone.capture(i)
+            o_before = oracle.capture(i)
+            for name, p in clone.models[i].named_parameters():
+                p.data = p.data + updates[name]
+            for name, p in oracle.models[i].named_parameters():
+                p.data = p.data + updates[name]
+            clone.commit(i, c_before)
+            oracle.commit(i, o_before)
+        clone.end_iteration()
+        oracle.end_iteration()
+
+    worst = max(
+        _max_param_delta(a, b) for a, b in zip(clone.models, oracle.models)
+    )
+    for name in clone.reference:
+        worst = max(
+            worst, float(np.abs(clone.reference[name] - oracle.reference[name]).max())
+        )
+    return worst
 
 
 # ---------------------------------------------------------------------- #

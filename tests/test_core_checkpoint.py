@@ -77,3 +77,59 @@ class TestCheckpointRoundTrip:
         t3 = AvgPipeTrainer(spec, seed=0, max_epochs=1, num_pipelines=3)
         with pytest.raises(ValueError):
             load_trainer(t3, path)
+
+
+class TestElasticResizeRoundTrip:
+    """The recovery path: a checkpoint taken after an eviction restarts
+    into a freshly-built larger trainer (`allow_resize=True` shrinks it),
+    and the resumed run continues bit-identically."""
+
+    def test_resume_after_eviction_is_bit_identical(self, tmp_path):
+        spec = tiny_awd_spec()
+        # Reference trajectory: 3 pipelines, evict one after the first
+        # epoch, checkpoint, then train one more epoch at N=2.
+        full = AvgPipeTrainer(spec, seed=0, max_epochs=1, num_pipelines=3)
+        full.train()
+        full.evict_pipeline(2)
+        path = tmp_path / "ckpt.npz"
+        save_trainer(full, path)
+        _step_epochs(full, 1)
+
+        # Recovery: a freshly-built 3-pipeline trainer shrinks to the
+        # checkpoint's N=2 on load and must continue identically.
+        resumed = AvgPipeTrainer(spec, seed=0, max_epochs=1, num_pipelines=3)
+        load_trainer(resumed, path, allow_resize=True)
+        assert resumed.num_pipelines == 2
+        assert resumed.framework.alpha == full.framework.alpha
+        resumed.train()
+
+        for mf, mr in zip(full.models, resumed.models):
+            sf, sr = mf.state_dict(), mr.state_dict()
+            for k in sf:
+                assert np.array_equal(sf[k], sr[k]), k
+        for k in full.framework.reference:
+            assert np.array_equal(
+                full.framework.reference[k], resumed.framework.reference[k]
+            ), k
+
+    def test_growth_rejected_even_with_allow_resize(self, tmp_path):
+        spec = tiny_awd_spec()
+        t1 = AvgPipeTrainer(spec, seed=0, max_epochs=1, num_pipelines=3)
+        path = tmp_path / "ckpt.npz"
+        save_trainer(t1, path)
+        t2 = AvgPipeTrainer(spec, seed=0, max_epochs=1, num_pipelines=2)
+        with pytest.raises(ValueError):
+            load_trainer(t2, path, allow_resize=True)
+
+    def test_rng_streams_round_trip(self, tmp_path):
+        from repro.core.checkpoint import _model_rng_states
+
+        spec = tiny_awd_spec()
+        t1 = AvgPipeTrainer(spec, seed=0, max_epochs=1, num_pipelines=2)
+        t1.train()
+        path = tmp_path / "ckpt.npz"
+        save_trainer(t1, path)
+        t2 = AvgPipeTrainer(spec, seed=99, max_epochs=1, num_pipelines=2)
+        load_trainer(t2, path)
+        for m1, m2 in zip(t1.models, t2.models):
+            assert _model_rng_states(m1) == _model_rng_states(m2)
