@@ -1,0 +1,22 @@
+"""Chrome-trace export of the Figure-7 worked example (obs golden).
+
+Regenerates ``results/obs_trace_fig07.json`` — the K=2, M=4 AFAB run
+exported in Trace Event Format.  ``tests/test_obs_trace_export.py`` pins
+this artifact byte-for-byte; load it in chrome://tracing or
+https://ui.perfetto.dev to eyeball the schedule.
+"""
+
+import json
+
+from tests.test_obs_trace_export import export_worked_example
+
+from .conftest import run_once
+
+
+def test_obs_trace_fig07(benchmark, results_dir):
+    exporter = run_once(benchmark, export_worked_example)
+    text = exporter.to_json() + "\n"
+    (results_dir / "obs_trace_fig07.json").write_text(text)
+    data = json.loads(text)
+    assert data["traceEvents"]
+    print(f"\n{exporter.device_summary()}\n")

@@ -151,8 +151,15 @@ def simulate_baseline(
     num_micro: int | None = None,
     iterations: int = 3,
     record_utilization: bool = False,
+    registry=None,
 ) -> SimIterationResult:
-    """Simulate a baseline's per-batch performance on the workload."""
+    """Simulate a baseline's per-batch performance on the workload.
+
+    ``registry`` (repro.obs) mirrors pipeline-run telemetry — spans,
+    Eq.-1 component seconds, memory high-water marks — for every
+    pipelined baseline; the data-parallel runner has no span stream and
+    ignores it.
+    """
     if system.schedule is None:
         sim = Simulator()
         cluster = Cluster(sim, calibration.cluster_spec())
@@ -168,4 +175,7 @@ def simulate_baseline(
         return runner.run(iterations=iterations)
     m = num_micro if num_micro is not None else choose_baseline_micro(system, calibration)
     profiler = _make_profiler(calibration, system.schedule())
-    return profiler.run_setting(m, 1, iterations=iterations, record_utilization=record_utilization)
+    return profiler.run_setting(
+        m, 1, iterations=iterations, record_utilization=record_utilization,
+        registry=registry,
+    )

@@ -7,6 +7,7 @@
     python -m repro timeline --schedule 1f1b  # render a schedule timeline
     python -m repro verify --quick            # oracle + sanitizer + fuzzer
     python -m repro chaos --scenario smoke    # fault injection + recovery
+    python -m repro report --out obs_out      # instrumented run + Chrome trace
 
 Every command prints plain-text tables (no plotting dependencies) and is
 deterministic for a given seed.
@@ -271,6 +272,38 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return 0 if report.recovered else 1
 
 
+def _cmd_report(args: argparse.Namespace) -> int:
+    """Instrumented short run: metrics + Chrome trace + run report."""
+    import os
+
+    from repro.obs import build_run_report
+
+    report, exporter = build_run_report(
+        workload=args.workload,
+        baseline=args.baseline,
+        iterations=args.iterations,
+        seed=args.seed,
+        train_epochs=0 if args.no_train else args.train_epochs,
+    )
+    if args.out:
+        os.makedirs(args.out, exist_ok=True)
+        trace_path = os.path.join(args.out, "trace.json")
+        exporter.write(trace_path)
+        with open(os.path.join(args.out, "run_report.json"), "w") as fh:
+            fh.write(report.to_json())
+        with open(os.path.join(args.out, "run_report.md"), "w") as fh:
+            fh.write(report.to_markdown())
+        print(f"wrote {trace_path} ({report.trace_events} events), "
+              f"run_report.json, run_report.md")
+        print()
+    print(report.to_markdown())
+    print(exporter.device_summary())
+    if not report.eq1_match:
+        print("report: Eq.-1 registry decomposition DIVERGES from the trace recorder")
+        return 1
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argparse tree for the ``repro`` CLI."""
     parser = argparse.ArgumentParser(prog="repro", description=__doc__,
@@ -337,6 +370,21 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--json", action="store_true", help="emit the report as JSON")
     p.add_argument("--list", action="store_true", help="list scenarios and exit")
     p.set_defaults(fn=_cmd_chaos)
+
+    p = sub.add_parser("report", help="instrumented run: metrics, Chrome trace, run report")
+    p.add_argument("--workload", default="bert", choices=["gnmt", "bert", "awd"])
+    p.add_argument("--baseline", default="gpipe",
+                   choices=["gpipe", "pipedream", "pipedream-2bw", "dapple"],
+                   help="which pipelined baseline to instrument (fig02 config)")
+    p.add_argument("--iterations", type=int, default=2)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--train-epochs", type=int, default=1,
+                   help="epochs for the real-numerics telemetry phase")
+    p.add_argument("--no-train", action="store_true",
+                   help="skip the numerics phase (simulation telemetry only)")
+    p.add_argument("--out", default=None,
+                   help="directory for trace.json / run_report.{json,md}")
+    p.set_defaults(fn=_cmd_report)
     return parser
 
 

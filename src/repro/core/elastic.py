@@ -38,6 +38,10 @@ __all__ = ["ElasticAveragingFramework"]
 
 StateDict = dict[str, np.ndarray]
 
+#: exponential buckets for weight-space RMS magnitudes (α-pulls and
+#: applied reference updates): 1e-8 .. ~5.4, factor-2 resolution.
+_RMS_BUCKETS = tuple(1e-8 * (2.0**i) for i in range(30))
+
 
 class ElasticAveragingFramework:
     """Coordinates N parallel :class:`PipelineModel`\\ s and a reference.
@@ -59,6 +63,7 @@ class ElasticAveragingFramework:
         alpha: float | None = None,
         queue_delay: int = 1,
         update_normalization: str = "mean",
+        registry=None,
     ) -> None:
         if not parallel_models:
             raise ValueError("need at least one parallel model")
@@ -92,6 +97,12 @@ class ElasticAveragingFramework:
         self.queue: MessageQueue[StateDict] = MessageQueue(delay=queue_delay, name="updates")
         self._accumulated: StateDict = {k: np.zeros_like(v) for k, v in self.reference.items()}
         self._received = 0
+        #: optional repro.obs MetricRegistry: commit() publishes the RMS
+        #: magnitude of each α-pull and reference_step() the RMS of each
+        #: applied reference update.  All telemetry is computed from
+        #: values the update rules produce anyway, so instrumented and
+        #: bare runs evolve the weights bitwise identically (tested).
+        self.registry = registry
 
     @property
     def num_parallel(self) -> int:
@@ -173,12 +184,25 @@ class ElasticAveragingFramework:
     def commit(self, index: int, before: Mapping[str, np.ndarray]) -> None:
         """After the optimizer step: compute Δ, dilute, post (steps 2-3)."""
         model = self.models[index]
+        track = self.registry is not None and self.registry.enabled
+        pull_sq, size = 0.0, 0
         delta: StateDict = {}
         for name, param in model.named_parameters():
             delta[name] = param.data - before[name]
             # Step 2: dilute toward the (possibly stale) reference.
-            param.data = (1.0 - self.alpha) * param.data + self.alpha * self.reference[name]
+            diluted = (1.0 - self.alpha) * param.data + self.alpha * self.reference[name]
+            if track:
+                move = diluted.astype(np.float64) - param.data
+                pull_sq += float((move**2).sum())
+                size += move.size
+            param.data = diluted
         self.queue.put(delta)
+        if track:
+            self.registry.counter("elastic.commits", model=index).inc()
+            self.registry.histogram(
+                "elastic.pull_rms", buckets=_RMS_BUCKETS, model=index
+            ).observe(float(np.sqrt(pull_sq / max(size, 1))))
+            self.registry.gauge("elastic.alpha").set(self.alpha)
 
     # ------------------------------------------------------------------ #
     # reference-side steps
@@ -194,11 +218,22 @@ class ElasticAveragingFramework:
             self._received += 1
         if self._received < self.num_parallel:
             return False
+        track = self.registry is not None and self.registry.enabled
+        update_sq, size = 0.0, 0
         scale = 1.0 if self.update_normalization == "sum" else 1.0 / self.num_parallel
         for name in self.reference:
-            self.reference[name] = self.reference[name] + scale * self._accumulated[name]
+            applied = scale * self._accumulated[name]
+            if track:
+                update_sq += float((applied.astype(np.float64) ** 2).sum())
+                size += applied.size
+            self.reference[name] = self.reference[name] + applied
             self._accumulated[name][...] = 0.0
         self._received = 0
+        if track:
+            self.registry.counter("elastic.reference_updates").inc()
+            self.registry.histogram(
+                "elastic.update_rms", buckets=_RMS_BUCKETS
+            ).observe(float(np.sqrt(update_sq / max(size, 1))))
         return True
 
     def end_iteration(self) -> bool:

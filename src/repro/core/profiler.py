@@ -101,8 +101,13 @@ class Profiler:
         iterations: int = 3,
         record_utilization: bool = False,
         render_timeline: bool = False,
+        registry=None,
     ) -> SimIterationResult:
-        """Simulate ``iterations`` batches at parallelism degrees (m, n)."""
+        """Simulate ``iterations`` batches at parallelism degrees (m, n).
+
+        ``registry`` (a repro.obs MetricRegistry) is handed to the
+        runner, which mirrors spans and end-of-run footprints into it.
+        """
         if self.batch_size % m != 0:
             raise ValueError(f"batch {self.batch_size} not divisible by M={m}")
         sim = Simulator()
@@ -126,6 +131,7 @@ class Profiler:
             optimizer_state_factor=self.optimizer_state_factor,
             record_utilization=record_utilization,
             activation_recompute=self.activation_recompute,
+            registry=registry,
         )
         return runner.run(iterations=iterations, render_timeline=render_timeline)
 

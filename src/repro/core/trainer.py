@@ -249,10 +249,16 @@ class AvgPipeTrainer(_TrainerBase):
         partition=None,
         num_micro: int | None = None,
         schedule=None,
+        telemetry=None,
     ) -> None:
         super().__init__(spec, seed, max_epochs)
         if num_pipelines < 1:
             raise ValueError("num_pipelines must be >= 1")
+        #: optional repro.obs TrainingTelemetry.  Every hook below is
+        #: read-only on trainer state, so runs with and without telemetry
+        #: produce bitwise-identical weights and metric histories (the
+        #: obs negative-path test pins this).
+        self.telemetry = telemetry
         self._alpha_auto = alpha is None
         if alpha is None:
             # The paper sets alpha = 1/N "empirically" on its testbed; the
@@ -274,6 +280,7 @@ class AvgPipeTrainer(_TrainerBase):
         self.framework = ElasticAveragingFramework(
             self.models, alpha=alpha, queue_delay=queue_delay,
             update_normalization=update_normalization,
+            registry=telemetry.registry if telemetry is not None else None,
         )
         self.loader = spec.make_train_loader(spec.batch_size, seed)
         self.eval_template = spec.build_model()
@@ -337,22 +344,29 @@ class AvgPipeTrainer(_TrainerBase):
         self.num_pipelines += 1
         return index
 
-    def _compute_gradients(self, i: int, batch: dict) -> None:
-        """Whole-model or faithful stage-sliced backward for model ``i``."""
+    def _compute_gradients(self, i: int, batch: dict) -> float:
+        """Whole-model or faithful stage-sliced backward for model ``i``.
+
+        Returns the batch loss (mean over micro-batches in the faithful
+        path) — telemetry reads it; callers are free to ignore it.
+        """
         model = self.models[i]
         if self.runners is None:
             model.zero_grad()
-            model.loss(batch).backward()
-            return
+            loss = model.loss(batch)
+            loss.backward()
+            return float(loss.item())
         from repro.data.dataset import split_microbatches
 
         size = len(next(iter(batch.values())))
         m = self.num_micro
         while size % m != 0:
             m -= 1
-        self.runners[i].run_batch(split_microbatches(batch, max(m, 1)))
+        return self.runners[i].run_batch(split_microbatches(batch, max(m, 1)))
 
     def train(self) -> TrainResult:
+        telemetry = self.telemetry
+
         def epoch_fn(_: int) -> int:
             count = 0
             pending: list[dict[str, np.ndarray]] = []
@@ -360,23 +374,33 @@ class AvgPipeTrainer(_TrainerBase):
                 i = len(pending)
                 model, opt = self.models[i], self.optimizers[i]
                 before = self.framework.capture(i)
-                self._compute_gradients(i, batch)
+                loss = self._compute_gradients(i, batch)
                 opt.clip_grad_norm(GRAD_CLIP)
                 opt.step()
                 pending.append(before)
                 self.framework.commit(i, before)
+                if telemetry is not None:
+                    telemetry.record_loss(i, loss)
+                    telemetry.record_samples(len(next(iter(batch.values()))))
                 if len(pending) == self.num_pipelines:
                     self.framework.end_iteration()
+                    if telemetry is not None:
+                        telemetry.record_round(self.framework)
                     pending.clear()
                 count += 1
             if pending:  # ragged tail of the epoch
                 self.framework.end_iteration()
+                if telemetry is not None:
+                    telemetry.record_round(self.framework)
                 pending.clear()
             return count
 
         def evaluate() -> float:
             self.framework.reference_model(self.eval_template)
-            return self.spec.evaluate(self.eval_template)
+            metric = self.spec.evaluate(self.eval_template)
+            if telemetry is not None:
+                telemetry.record_eval(self.spec.metric_name, metric)
+            return metric
 
         return self._loop(epoch_fn, evaluate)
 

@@ -27,14 +27,19 @@ from repro.sim import ClusterSpec, Simulator, make_cluster
 __all__ = ["run_fig02", "run_fig07"]
 
 
-def run_fig02(workload: str = "bert") -> dict:
-    """Vanilla-pipeline utilization trace (the paper's motivation plot)."""
+def run_fig02(workload: str = "bert", registry=None) -> dict:
+    """Vanilla-pipeline utilization trace (the paper's motivation plot).
+
+    ``registry`` (a repro.obs MetricRegistry) optionally mirrors the
+    runs' spans and Eq.-1 seconds; the figure output is unchanged.
+    """
     cal = calibration_for(workload)
     out = {}
     for name in ("gpipe", "pipedream-2bw"):
         spec = BASELINE_SYSTEMS[name]
         m = choose_baseline_micro(spec, cal)
-        res = simulate_baseline(spec, cal, num_micro=m, iterations=2, record_utilization=True)
+        res = simulate_baseline(spec, cal, num_micro=m, iterations=2,
+                                record_utilization=True, registry=registry)
         curve = res.utilization_curves[0]
         out[name] = {
             "peak": float(curve.max()),

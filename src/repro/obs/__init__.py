@@ -1,0 +1,39 @@
+"""Observability layer: metrics registry, trace export, run reports.
+
+Everything here is opt-in and read-only: no simulator or trainer path
+allocates a single metric series unless a caller hands it an *enabled*
+:class:`MetricRegistry`, and the instrumented code paths are bitwise
+identical to the uninstrumented ones (the obs test suite pins both
+properties).
+"""
+
+from repro.obs.registry import (
+    DEFAULT_TIME_BUCKETS,
+    NULL_REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricRegistry,
+)
+from repro.obs.report import RunReport, build_run_report
+from repro.obs.telemetry import (
+    ClusterTelemetrySampler,
+    TrainingTelemetry,
+    publish_cluster,
+)
+from repro.obs.trace_export import TraceExporter
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricRegistry",
+    "NULL_REGISTRY",
+    "DEFAULT_TIME_BUCKETS",
+    "TraceExporter",
+    "TrainingTelemetry",
+    "ClusterTelemetrySampler",
+    "publish_cluster",
+    "RunReport",
+    "build_run_report",
+]

@@ -59,6 +59,7 @@ class HeartbeatDetector:
         miss_threshold: float = 3.0,
         straggler_factor: float | None = None,
         max_polls: int = 100_000,
+        telemetry=None,
     ) -> None:
         if interval <= 0:
             raise ValueError("heartbeat interval must be positive")
@@ -71,6 +72,13 @@ class HeartbeatDetector:
         self.miss_threshold = miss_threshold
         self.straggler_factor = straggler_factor
         self.max_polls = max_polls
+        #: optional repro.obs MetricRegistry.  When set, device and link
+        #: state is read from the ``sim.device.*`` / ``sim.link.*``
+        #: gauges a ClusterTelemetrySampler keeps fresh, instead of
+        #: polling the cluster's raw resources — the realistic setup
+        #: where a detector watches a metrics bus, at the price of one
+        #: sampling interval of staleness.  ``cluster`` may then be None.
+        self.telemetry = telemetry
         self.reports: list[FailureReport] = []
         self._reported: set[tuple[str, int]] = set()
         self._stopped = False
@@ -98,40 +106,74 @@ class HeartbeatDetector:
                 return
             self._poll()
 
+    def _observe(self) -> list[tuple[int, bool, float, float]] :
+        """Per-device (index, frozen, capacity, nominal) observations,
+        from the registry gauges when telemetry is attached, else from
+        the cluster's raw resources."""
+        if self.telemetry is not None:
+            out = []
+            for _, labels, gauge in self.telemetry.series("sim.device.frozen"):
+                device = int(labels["device"])
+                out.append((
+                    device,
+                    gauge.value > 0.0,
+                    self.telemetry.value("sim.device.capacity", device=device),
+                    self.telemetry.value("sim.device.nominal_capacity", device=device),
+                ))
+            return sorted(out)
+        if self.cluster is None:
+            return []
+        return [
+            (d.index, d.compute.frozen, d.compute.capacity, d.compute.nominal_capacity)
+            for d in self.cluster.devices
+        ]
+
+    def _observe_links(self) -> list[tuple[int, int]]:
+        """Severed (src, dst) link pairs, from either telemetry source."""
+        if self.telemetry is not None:
+            return sorted(
+                (int(labels["src"]), int(labels["dst"]))
+                for _, labels, gauge in self.telemetry.series("sim.link.partitioned")
+                if gauge.value > 0.0
+            )
+        if self.cluster is None:
+            return []
+        return [
+            (src, dst)
+            for (src, dst), link in self.cluster._links.items()
+            if link.partitioned
+        ]
+
     def _poll(self) -> None:
         now = self.sim.now
         frozen_devices = []
         severed_links = []
-        if self.cluster is not None:
-            for (src, dst), link in self.cluster._links.items():
-                if link.partitioned:
-                    severed_links.append((src, dst))
-                    self._report(
-                        "link_partition",
-                        src,
-                        f"link {src}->{dst} unreachable (telemetry)",
-                    )
-            for device in self.cluster.devices:
-                if device.compute.frozen:
-                    frozen_devices.append(device.index)
-                    self._report(
-                        "device_crash",
-                        device.index,
-                        f"device {device.index} compute frozen (telemetry)",
-                    )
-                elif (
-                    self.straggler_factor is not None
-                    and device.compute.nominal_capacity
-                    >= self.straggler_factor * device.compute.capacity
-                ):
-                    self._report(
-                        "straggler",
-                        device.index,
-                        f"device {device.index} at "
-                        f"{device.compute.capacity / device.compute.nominal_capacity:.2%} "
-                        f"of peak",
-                        severity=device.compute.nominal_capacity / device.compute.capacity,
-                    )
+        for src, dst in self._observe_links():
+            severed_links.append((src, dst))
+            self._report(
+                "link_partition",
+                src,
+                f"link {src}->{dst} unreachable (telemetry)",
+            )
+        for device, frozen, capacity, nominal in self._observe():
+            if frozen:
+                frozen_devices.append(device)
+                self._report(
+                    "device_crash",
+                    device,
+                    f"device {device} compute frozen (telemetry)",
+                )
+            elif (
+                self.straggler_factor is not None
+                and capacity > 0
+                and nominal >= self.straggler_factor * capacity
+            ):
+                self._report(
+                    "straggler",
+                    device,
+                    f"device {device} at {capacity / nominal:.2%} of peak",
+                    severity=nominal / capacity,
+                )
         if frozen_devices or severed_links:
             # Every pipeline has a stage on a dead device (straight-chain
             # placement) and a severed link starves them all, so pipeline

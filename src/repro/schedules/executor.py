@@ -116,6 +116,9 @@ class SimIterationResult:
     utilization_curves: np.ndarray | None = None
     timeline: str = ""
     oom: OutOfMemoryError | None = None
+    #: the recorder behind the decomposition — lets repro.obs export the
+    #: run as a Chrome trace without re-running the simulation.
+    trace: TraceRecorder | None = None
 
     @property
     def time_per_batch(self) -> float:
@@ -162,6 +165,7 @@ class PipelineSimRunner:
         record_utilization: bool = False,
         device_map: list[list[int]] | None = None,
         activation_recompute: bool = False,
+        registry=None,
     ) -> None:
         if device_map is None and stage_costs.num_stages != cluster.num_devices:
             raise ValueError(
@@ -210,7 +214,11 @@ class PipelineSimRunner:
         #: rebuilt by an extra forward pass folded into the backward —
         #: trading ~1x forward flops for the stash memory.
         self.activation_recompute = activation_recompute
-        self.trace = TraceRecorder()
+        #: optional repro.obs MetricRegistry; spans are mirrored into it
+        #: by the TraceRecorder and end-of-run footprints/iteration
+        #: counters are published by run().  None (default) = no hooks.
+        self.registry = registry
+        self.trace = TraceRecorder(registry=registry)
         #: pipelines aborted mid-run (repro.resilience fault injection).
         self._crashed: set[int] = set()
         #: sim time of each pipeline's last completed compute span — the
@@ -347,6 +355,8 @@ class PipelineSimRunner:
             else ""
         )
 
+        if self.registry is not None:
+            self._publish_run_metrics(iterations, total)
         self._free_weights(weight_bytes)
         return SimIterationResult(
             batch_time=total / iterations,
@@ -364,7 +374,26 @@ class PipelineSimRunner:
             avg_utilization=avg_util,
             utilization_curves=curves,
             timeline=timeline,
+            trace=self.trace,
         )
+
+    def _publish_run_metrics(self, iterations: int, total: float) -> None:
+        """End-of-run telemetry: memory high-water marks per device
+        (weights still allocated at this point), per-pipeline iteration
+        counters and wall totals on the sim clock."""
+        reg = self.registry
+        for device in self.cluster.devices:
+            device.publish_telemetry(reg)
+        for p, done in enumerate(self.iterations_completed):
+            reg.counter("sim.pipeline.iterations", pipeline=p).inc(done)
+        reg.gauge("sim.run.iterations").set(iterations)
+        reg.gauge("sim.run.total_seconds").set(total)
+        reg.gauge("sim.run.num_micro").set(self.num_micro)
+        reg.gauge("sim.run.num_pipelines").set(self.num_pipelines)
+        samples = self.mb_size * self.num_micro * sum(self.iterations_completed)
+        reg.counter("sim.run.samples").inc(samples)
+        if total > 0:
+            reg.gauge("sim.run.samples_per_second").set(samples / total)
 
     # ------------------------------------------------------------------ #
 
@@ -417,6 +446,7 @@ class PipelineSimRunner:
             data_memory_peak=[0] * D,
             avg_utilization=0.0,
             oom=oom,
+            trace=self.trace,
         )
 
     # ------------------------------------------------------------------ #

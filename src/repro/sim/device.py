@@ -101,5 +101,38 @@ class Device:
         self._slowdown = factor
         self.compute.set_capacity(self.peak_flops / factor)
 
+    # ------------------------------------------------------------------ #
+    # telemetry (repro.obs)
+
+    def telemetry(self) -> dict:
+        """Snapshot of the device's observable state (registry-free)."""
+        return {
+            "device": self.index,
+            "node": self.node,
+            "frozen": self.compute.frozen,
+            "capacity": self.compute.capacity,
+            "nominal_capacity": self.compute.nominal_capacity,
+            "slowdown": self._slowdown,
+            "utilization": self.compute.current_demand,
+            "mem_used": self.memory.used,
+            "mem_peak": self.memory.peak,
+        }
+
+    def publish_telemetry(self, registry) -> None:
+        """Mirror :meth:`telemetry` into registry gauges (see the gauge
+        catalog in :func:`repro.obs.telemetry.publish_cluster`)."""
+        registry.gauge("sim.device.frozen", device=self.index).set(
+            1.0 if self.compute.frozen else 0.0
+        )
+        registry.gauge("sim.device.capacity", device=self.index).set(self.compute.capacity)
+        registry.gauge("sim.device.nominal_capacity", device=self.index).set(
+            self.compute.nominal_capacity
+        )
+        registry.gauge("sim.device.slowdown", device=self.index).set(self._slowdown)
+        registry.gauge("sim.device.utilization", device=self.index).set(
+            self.compute.current_demand
+        )
+        self.memory.publish(registry, device=self.index)
+
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"Device(gpu{self.index}, node={self.node})"

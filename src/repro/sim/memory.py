@@ -68,3 +68,17 @@ class MemoryLedger:
     def reset_peak(self) -> None:
         self.peak = self.used
         self.peak_by_tag = dict(self.by_tag)
+
+    def publish(self, registry, **labels) -> None:
+        """Mirror current/peak footprints into a metric registry.
+
+        Gauges: ``sim.mem.used_bytes`` / ``sim.mem.peak_bytes`` plus a
+        per-tag ``sim.mem.tag_peak_bytes`` high-water mark (the Figure-12
+        activation/weight breakdown).  ``labels`` typically carries the
+        owning device index.
+        """
+        registry.gauge("sim.mem.used_bytes", **labels).set(self.used)
+        registry.gauge("sim.mem.peak_bytes", **labels).set(self.peak)
+        registry.gauge("sim.mem.capacity_bytes", **labels).set(self.capacity)
+        for tag, peak in sorted(self.peak_by_tag.items()):
+            registry.gauge("sim.mem.tag_peak_bytes", tag=tag, **labels).set(peak)

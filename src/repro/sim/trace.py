@@ -19,7 +19,7 @@ import numpy as np
 from repro.sim.cluster import Cluster
 from repro.utils.timeline_render import TimelineSpan, render_gantt
 
-__all__ = ["SpanKind", "TraceRecorder"]
+__all__ = ["SpanKind", "TraceRecorder", "EQ1_COMPONENT"]
 
 
 class SpanKind(str, enum.Enum):
@@ -31,6 +31,17 @@ class SpanKind(str, enum.Enum):
     SYNC = "sync"  # optimizer / allreduce / averaging
     FAULT = "fault"  # injected fault window (repro.resilience)
     RECOVERY = "recovery"  # detection-to-recovery window
+
+
+#: Equation-1 component each span kind contributes to.  FAULT/RECOVERY
+#: are annotation windows, not device work, and map to no component.
+EQ1_COMPONENT: dict[SpanKind, str] = {
+    SpanKind.FWD: "gpu",
+    SpanKind.BWD: "gpu",
+    SpanKind.COMM: "com",
+    SpanKind.BUBBLE: "bub",
+    SpanKind.SYNC: "sync",
+}
 
 
 @dataclass
@@ -51,9 +62,20 @@ class _Span:
 
 @dataclass
 class TraceRecorder:
-    """Collects spans emitted by runtime processes."""
+    """Collects spans emitted by runtime processes.
+
+    An optional :class:`~repro.obs.registry.MetricRegistry` mirrors every
+    span into metric series as it is recorded: a per-(device, component)
+    ``trace.eq1_seconds`` counter accumulating the same float additions
+    in the same order as :meth:`time_decomposition` (so the two agree
+    *bitwise*, which the obs cross-check test asserts), plus per-kind
+    span counts and duration histograms.  With no registry attached (the
+    default) the hot path is untouched.
+    """
 
     spans: list[_Span] = field(default_factory=list)
+    #: duck-typed MetricRegistry; None (default) disables mirroring.
+    registry: object | None = None
 
     def record(
         self,
@@ -71,6 +93,17 @@ class TraceRecorder:
             raise ValueError(f"span ends before it starts: {start} > {end} ({label})")
         if end > start:
             self.spans.append(_Span(device, start, end, kind, label, pipeline, stage, micro))
+            if self.registry is not None:
+                duration = end - start
+                self.registry.counter("trace.spans", device=device, kind=kind.value).inc()
+                self.registry.histogram(
+                    "trace.span_seconds", device=device, kind=kind.value
+                ).observe(duration)
+                component = EQ1_COMPONENT.get(kind)
+                if component is not None:
+                    self.registry.counter(
+                        "trace.eq1_seconds", device=device, component=component
+                    ).inc(duration)
 
     def compute_spans(self) -> list[_Span]:
         """FWD/BWD spans carrying a (pipeline, stage, micro) identity."""

@@ -1,0 +1,103 @@
+"""Cross-checks: registry telemetry vs the quantities it mirrors.
+
+The registry is a *second* accounting of numbers the repo already
+computes — Equation 1's per-device decomposition from the trace
+recorder, the averaging divergence from the elastic framework.  These
+tests run the Figure-2 configuration and a short numerics run and assert
+the two accountings agree exactly (bitwise for Eq. 1, which accumulates
+the identical float additions in the identical order).
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines import BASELINE_SYSTEMS, choose_baseline_micro, simulate_baseline
+from repro.core.simcfg import calibration_for
+from repro.obs import MetricRegistry, TrainingTelemetry
+from repro.obs.report import EQ1_COMPONENTS, registry_decomposition
+from repro.sim.trace import EQ1_COMPONENT, SpanKind
+
+
+@pytest.fixture(scope="module")
+def fig02_run():
+    """The fig02 configuration (bert / GPipe), instrumented."""
+    registry = MetricRegistry()
+    cal = calibration_for("bert")
+    system = BASELINE_SYSTEMS["gpipe"]
+    m = choose_baseline_micro(system, cal)
+    result = simulate_baseline(
+        system, cal, num_micro=m, iterations=2,
+        record_utilization=True, registry=registry,
+    )
+    assert result.oom is None
+    return registry, result
+
+
+def test_eq1_component_map_covers_device_work_kinds():
+    assert set(EQ1_COMPONENT.values()) == set(EQ1_COMPONENTS)
+    # fault/recovery are annotation windows, not device work.
+    assert SpanKind.FAULT not in EQ1_COMPONENT
+    assert SpanKind.RECOVERY not in EQ1_COMPONENT
+    assert set(EQ1_COMPONENT) == set(SpanKind) - {SpanKind.FAULT, SpanKind.RECOVERY}
+
+
+def test_registry_eq1_matches_trace_decomposition_bitwise(fig02_run):
+    registry, result = fig02_run
+    for dev in range(result.num_stages):
+        from_trace = result.trace.time_decomposition(dev)
+        from_registry = registry_decomposition(registry, dev)
+        for component in EQ1_COMPONENTS:
+            # Same float additions in span-record order: ==, not approx.
+            assert from_registry[component] == from_trace[component], (
+                f"device {dev} T_{component}"
+            )
+
+
+def test_registry_span_counts_match_trace(fig02_run):
+    registry, result = fig02_run
+    for dev in range(result.num_stages):
+        for kind in SpanKind:
+            recorded = sum(
+                1 for s in result.trace.spans
+                if s.device == dev and s.kind is kind and s.end > s.start
+            )
+            counted = registry.value("trace.spans", device=dev, kind=kind.value)
+            assert counted == recorded, f"device {dev} {kind.value}"
+
+
+def test_run_metrics_match_result(fig02_run):
+    registry, result = fig02_run
+    assert registry.value("sim.run.total_seconds") == result.total_time
+    assert registry.value("sim.run.num_micro") == result.num_micro
+    samples = registry.value("sim.run.samples")
+    assert registry.value("sim.run.samples_per_second") == samples / result.total_time
+    for dev in range(result.num_stages):
+        assert registry.value("sim.mem.peak_bytes", device=dev) == result.peak_memory[dev]
+
+
+def test_divergence_gauge_matches_direct_computation():
+    from repro.core.trainer import AvgPipeTrainer
+    from repro.resilience.chaos import tiny_chaos_spec
+
+    registry = MetricRegistry()
+    trainer = AvgPipeTrainer(
+        tiny_chaos_spec(), seed=1, num_pipelines=2, max_epochs=1,
+        telemetry=TrainingTelemetry(registry),
+    )
+    trainer.train()
+    framework = trainer.framework
+
+    # Independent ‖x_i − x̃‖ RMS over every model and parameter.
+    total, count = 0.0, 0
+    for model in framework.models:
+        for name, param in model.named_parameters():
+            diff = param.data.astype(np.float64) - framework.reference[name]
+            total += float((diff**2).sum())
+            count += diff.size
+    direct = float(np.sqrt(total / count))
+
+    gauge = registry.value("train.divergence")
+    assert gauge == framework.divergence()
+    assert gauge == direct  # same formula, same op order: bitwise equal
+    assert registry.value("train.alpha") == framework.alpha
+    assert registry.value("train.num_pipelines") == framework.num_parallel

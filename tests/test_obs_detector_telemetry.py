@@ -1,0 +1,98 @@
+"""HeartbeatDetector fed from the metric registry instead of raw state.
+
+A :class:`ClusterTelemetrySampler` publishes device/link gauges on the
+sim clock; the detector (constructed with ``telemetry=registry`` and
+``cluster=None``) must reach the same verdicts as the raw-resource path,
+at the price of at most one sampling interval of staleness.
+"""
+
+from repro.obs import ClusterTelemetrySampler, MetricRegistry
+from repro.resilience import FaultEvent, FaultInjector, FaultPlan, HeartbeatDetector
+from tests.test_resilience_faults import fault_free_time, make_setup
+
+ITERS = 6
+
+
+def run_scenario(events, telemetry: bool, straggler_factor=None):
+    """One seeded run; detector on the registry path or the raw path."""
+    interval = fault_free_time(iterations=ITERS) / ITERS
+    sim, cluster, runner = make_setup()
+    if events:
+        injector = FaultInjector(sim, cluster, runner=runner)
+        injector.install(FaultPlan(events=[
+            FaultEvent(kind, frac * interval * ITERS, target,
+                       duration=4 * interval, **extra)
+            for kind, frac, target, extra in events
+        ]))
+    if telemetry:
+        registry = MetricRegistry()
+        sampler = ClusterTelemetrySampler(sim, cluster, registry,
+                                          interval=interval / 4)
+        sampler.start()
+        detector = HeartbeatDetector(sim, runner, cluster=None,
+                                     interval=interval, miss_threshold=2.0,
+                                     straggler_factor=straggler_factor,
+                                     telemetry=registry)
+    else:
+        detector = HeartbeatDetector(sim, runner, cluster=cluster,
+                                     interval=interval, miss_threshold=2.0,
+                                     straggler_factor=straggler_factor)
+    detector.start()
+    runner.run(iterations=ITERS)
+    return detector
+
+
+def verdicts(detector):
+    return sorted((r.kind, r.target) for r in detector.reports)
+
+
+def test_no_false_positives_from_telemetry():
+    detector = run_scenario([], telemetry=True)
+    assert detector.reports == []
+
+
+def test_frozen_device_detected_through_registry():
+    detector = run_scenario(
+        [("device_crash", 0.37, 1, {})], telemetry=True
+    )
+    kinds = {r.kind for r in detector.reports}
+    assert "device_crash" in kinds
+    assert "pipeline_crash" not in kinds
+    report = next(r for r in detector.reports if r.kind == "device_crash")
+    assert report.target == 1
+    assert "frozen" in report.evidence
+
+
+def test_severed_link_detected_through_registry():
+    detector = run_scenario(
+        [("link_partition", 0.37, (0, 1), {})], telemetry=True
+    )
+    kinds = {r.kind for r in detector.reports}
+    assert "link_partition" in kinds
+    assert "pipeline_crash" not in kinds
+
+
+def test_straggler_detected_through_registry_with_severity():
+    detector = run_scenario(
+        [("device_slowdown", 0.37, 2, {"factor": 4.0})],
+        telemetry=True, straggler_factor=2.0,
+    )
+    stragglers = [r for r in detector.reports if r.kind == "straggler"]
+    assert [r.target for r in stragglers] == [2]
+    assert stragglers[0].severity > 2.0
+
+
+def test_telemetry_path_agrees_with_raw_path():
+    """Same deterministic scenario, both observation paths, same verdicts."""
+    scenario = [("device_crash", 0.37, 1, {})]
+    raw = run_scenario(scenario, telemetry=False)
+    via_registry = run_scenario(scenario, telemetry=True)
+    assert verdicts(raw) == verdicts(via_registry)
+
+
+def test_detector_without_cluster_or_telemetry_sees_no_devices():
+    interval = 0.5
+    sim, cluster, runner = make_setup()
+    detector = HeartbeatDetector(sim, runner, cluster=None, interval=interval)
+    assert detector._observe() == []
+    assert detector._observe_links() == []

@@ -1,0 +1,113 @@
+"""Golden regression + structural tests for the Chrome-trace exporter.
+
+The benchmark suite regenerates ``benchmarks/results/obs_trace_fig07.json``
+(the Figure-7 worked example — K=2, M=4, AFAB — exported as a Chrome
+trace); this test pins it byte-for-byte, exactly like the fig07 timeline
+golden.  The structural tests check that the emitted JSON round-trips
+through ``json.loads`` and that every complete event carries the Trace
+Event Format fields Perfetto needs (``ph``/``ts``/``dur``/``pid``/``tid``).
+"""
+
+import json
+import pathlib
+
+from repro.obs import TraceExporter
+from repro.schedules.base import AFABSchedule
+from repro.schedules.executor import PipelineSimRunner, StageCosts
+from repro.sim.cluster import ClusterSpec, make_cluster
+from repro.sim.events import Simulator
+from repro.sim.trace import SpanKind
+
+GOLDEN = (
+    pathlib.Path(__file__).parent.parent
+    / "benchmarks"
+    / "results"
+    / "obs_trace_fig07.json"
+)
+
+
+def export_worked_example() -> TraceExporter:
+    """The Figure-7 worked example, exactly as the benchmark runs it."""
+    K, M = 2, 4
+    costs = StageCosts(
+        fwd_flops=(4.0e6,) * K,
+        act_out_bytes=(4.0e6,) * K,
+        stash_bytes=(8.0e6,) * K,
+        param_bytes=(1_000_000,) * K,
+    )
+    sim = Simulator()
+    cluster = make_cluster(
+        sim, K, spec=ClusterSpec(nodes=2, gpus_per_node=1, memory_bytes=2**31)
+    )
+    runner = PipelineSimRunner(cluster, AFABSchedule(), costs, num_micro=M, mb_size=8.0)
+    result = runner.run(iterations=1)
+    assert result.oom is None
+    return TraceExporter(result.trace, num_devices=K)
+
+
+def render_trace_json() -> str:
+    return export_worked_example().to_json() + "\n"
+
+
+def test_trace_artifact_matches_golden():
+    assert GOLDEN.exists(), f"golden artifact missing: {GOLDEN}"
+    fresh = render_trace_json()
+    golden = GOLDEN.read_text()
+    assert fresh == golden, (
+        "Chrome-trace export drifted from benchmarks/results/obs_trace_fig07.json; "
+        "if the change is intentional, regenerate it with "
+        "`PYTHONPATH=src python -m pytest benchmarks/test_obs_trace_export.py`"
+    )
+
+
+def test_trace_export_is_deterministic():
+    assert render_trace_json() == render_trace_json()
+
+
+def test_chrome_trace_round_trips_and_is_well_formed():
+    exporter = export_worked_example()
+    data = json.loads(exporter.to_json())  # must round-trip
+    assert data["displayTimeUnit"] == "ms"
+    events = data["traceEvents"]
+    complete = [e for e in events if e["ph"] == "X"]
+    meta = [e for e in events if e["ph"] == "M"]
+    assert len(complete) == len(exporter.trace.spans)
+    # One process_name per device plus thread_name lanes.
+    assert sum(e["name"] == "process_name" for e in meta) == exporter.num_devices
+    assert all(e["ph"] in ("X", "M") for e in events)
+    kinds = {k.value for k in SpanKind}
+    for e in complete:
+        assert set(e) >= {"ph", "ts", "dur", "pid", "tid", "name", "cat", "args"}
+        assert e["cat"] in kinds
+        assert e["dur"] >= 0
+        assert e["ts"] >= 0
+        assert 0 <= e["pid"] < exporter.num_devices
+        assert e["tid"] >= 0
+    # Compute spans carry their schedule identity into args.
+    fwd = [e for e in complete if e["cat"] == "fwd"]
+    assert fwd and all(
+        {"pipeline", "stage", "micro"} <= set(e["args"]) for e in fwd
+    )
+
+
+def test_exporter_infers_device_count():
+    exporter = export_worked_example()
+    inferred = TraceExporter(exporter.trace)
+    assert inferred.num_devices == exporter.num_devices
+    assert inferred.to_json() == exporter.to_json()
+
+
+def test_device_summary_mentions_every_device_and_kind():
+    exporter = export_worked_example()
+    text = exporter.device_summary()
+    for dev in range(exporter.num_devices):
+        assert f"GPU {dev}" in text
+    for kind in ("fwd", "bwd", "comm"):
+        assert kind in text
+
+
+def test_write_emits_loadable_file(tmp_path):
+    exporter = export_worked_example()
+    path = tmp_path / "trace.json"
+    exporter.write(path)
+    assert json.loads(path.read_text())["traceEvents"]
