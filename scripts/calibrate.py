@@ -1,53 +1,25 @@
-"""Calibration matrix: run all baselines + AvgPipe candidates on each
-workload and print times/memory so the simcfg constants can be tuned.
+"""Thin shim over :mod:`repro.core.calibrate` (kept for muscle memory).
 
-Usage: python scripts/calibrate.py [workload] [act_scale] [param_scale] [cap_mb]
+The calibration matrix is a library + CLI command now:
+
+    python -m repro calibrate [workload] [--act-scale X] [--param-scale Y] [--cap-mib Z]
+
+Positional arguments mirror the old script: workload, activation byte
+scale, param byte scale, capacity in MiB.
 """
 import sys
-from dataclasses import replace
 
-from repro.core.simcfg import SIM_CALIBRATIONS, calibration_for
-from repro.baselines import BASELINE_SYSTEMS, simulate_baseline, choose_baseline_micro
-from repro.core.profiler import Profiler
-from repro.schedules.base import AdvanceFPSchedule
+from repro.cli import main
 
-def show(cal):
-    print(f'== {cal.workload} act={cal.activation_byte_scale} param={cal.param_byte_scale} cap={cal.memory_capacity_bytes/2**20:.0f}MB')
-    print('   partition', cal.partition().boundaries)
-    rows = {}
-    for name, sys_ in BASELINE_SYSTEMS.items():
-        try:
-            if sys_.schedule is None:
-                res = simulate_baseline(sys_, cal); m='-'
-            else:
-                m = choose_baseline_micro(sys_, cal)
-                res = simulate_baseline(sys_, cal, num_micro=m)
-            rows[name] = (m, res)
-            oom = 'OOM!' if res.oom else ''
-            print(f'   {name:14s} M={m!s:3s}: batch {res.batch_time*1000:8.1f}ms peak {max(res.peak_memory)/2**20:7.1f}MB util {res.avg_utilization:.2f} {oom}')
-        except Exception as e:
-            print(f'   {name:14s} no feasible setting ({type(e).__name__})')
-    # AvgPipe candidates
-    prof = Profiler(cal.layer_costs(), cal.partition(), AdvanceFPSchedule(2),
-                    cal.cluster_spec(), cal.batch_size,
-                    activation_byte_scale=cal.activation_byte_scale,
-                    param_byte_scale=cal.param_byte_scale,
-                    stash_multiplier=cal.stash_multiplier,
-                    optimizer_state_factor=cal.optimizer_state_factor,
-                    with_reference_model=True)
-    for m, n in [(64,2),(64,3),(32,2),(32,3),(16,2),(16,3),(8,2),(4,2),(1,2)]:
-        if cal.batch_size % m: continue
-        res = prof.run_setting(m, n, iterations=2)
-        oom = 'OOM!' if res.oom else ''
-        print(f'   avgpipe M={m:3d} N={n}: batch {res.batch_time*1000:8.1f}ms peak {max(res.peak_memory)/2**20:7.1f}MB util {res.avg_utilization:.2f} {oom}')
-
-if __name__ == '__main__':
-    if len(sys.argv) > 1:
-        cal = calibration_for(sys.argv[1])
-        if len(sys.argv) > 2: cal = replace(cal, activation_byte_scale=float(sys.argv[2]))
-        if len(sys.argv) > 3: cal = replace(cal, param_byte_scale=float(sys.argv[3]))
-        if len(sys.argv) > 4: cal = replace(cal, memory_capacity_bytes=int(float(sys.argv[4])*2**20))
-        show(cal)
-    else:
-        for wl in SIM_CALIBRATIONS:
-            show(calibration_for(wl))
+if __name__ == "__main__":
+    argv = ["calibrate"]
+    args = sys.argv[1:]
+    if args:
+        argv.append(args[0])
+    if len(args) > 1:
+        argv += ["--act-scale", args[1]]
+    if len(args) > 2:
+        argv += ["--param-scale", args[2]]
+    if len(args) > 3:
+        argv += ["--cap-mib", args[3]]
+    sys.exit(main(argv))

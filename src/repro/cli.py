@@ -8,6 +8,8 @@
     python -m repro verify --quick            # oracle + sanitizer + fuzzer
     python -m repro chaos --scenario smoke    # fault injection + recovery
     python -m repro report --out obs_out      # instrumented run + Chrome trace
+    python -m repro bench --suite smoke       # hot-path benchmarks -> BENCH_<n>.json
+    python -m repro calibrate gnmt            # simulator calibration matrix
 
 Every command prints plain-text tables (no plotting dependencies) and is
 deterministic for a given seed.
@@ -304,6 +306,125 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    """Run the hot-path benchmark suite; optionally compare a baseline."""
+    import json
+
+    from repro.obs.bench import (
+        compare_payloads,
+        render_compare,
+        render_results,
+        run_suite,
+        select_suite,
+        suite_names,
+        to_payload,
+        write_payload,
+    )
+
+    if args.list:
+        for bench in select_suite("full"):
+            smoke = "smoke" if bench.smoke else "full-only"
+            print(f"{bench.name:24s} [{bench.group}, {smoke}] {bench.params}")
+        print(f"suites: {', '.join(suite_names())}")
+        return 0
+
+    if args.input is not None:
+        # File-vs-file mode: no re-measurement, so self-compare is exact.
+        with open(args.input) as fh:
+            payload = json.load(fh)
+        if args.compare is None:
+            print(f"{args.input}: {len(payload.get('benchmarks', []))} benchmarks "
+                  f"(suite {payload.get('suite')!r}); nothing to do without --compare")
+            return 2
+        with open(args.compare) as fh:
+            baseline = json.load(fh)
+        report = compare_payloads(baseline, payload, threshold=args.threshold)
+        print(render_compare(report))
+        return 0 if (report.ok or args.report_only) else 1
+
+    try:
+        benches = select_suite(args.suite)
+    except KeyError as exc:
+        print(exc.args[0])
+        return 2
+
+    registry = None
+    if args.calibrate:
+        from repro.core.calibrate import run_calibration
+        from repro.core.simcfg import SIM_CALIBRATIONS, calibration_for
+        from repro.obs import MetricRegistry
+
+        registry = MetricRegistry()
+        for name in sorted(SIM_CALIBRATIONS):
+            run_calibration(calibration_for(name), registry=registry)
+        print(f"calibrated {len(SIM_CALIBRATIONS)} workloads "
+              f"({sum(1 for _ in registry.series(prefix='calibrate.'))} gauges "
+              "recorded into the fingerprint)")
+
+    results, registry, exporter = run_suite(
+        benches,
+        repeats=args.repeats,
+        warmup=args.warmup,
+        seed=args.seed,
+        registry=registry,
+        record_trace=args.trace is not None,
+        progress=lambda r: print(
+            f"  {r.name:24s} median {r.median * 1e3:9.3f} ms  "
+            f"peak {r.alloc_peak_bytes / 1024:9.1f} KiB"
+        ),
+    )
+    print()
+    print(render_results(results, title=f"repro bench — suite '{args.suite}'"))
+    payload = to_payload(
+        results, args.suite, args.repeats, args.warmup, args.seed, registry
+    )
+    if not args.no_write:
+        path = write_payload(payload, args.out)
+        print(f"\nwrote {path} ({len(results)} benchmarks)")
+    if args.trace is not None:
+        exporter.write(args.trace)
+        print(f"wrote {args.trace} (one span per timed repeat)")
+
+    if args.compare is not None:
+        with open(args.compare) as fh:
+            baseline = json.load(fh)
+        report = compare_payloads(baseline, payload, threshold=args.threshold)
+        print()
+        print(render_compare(report))
+        if not report.ok and not args.report_only:
+            return 1
+    return 0
+
+
+def _cmd_calibrate(args: argparse.Namespace) -> int:
+    """Print the calibration matrix; publish calibrate.* gauges."""
+    from repro.core.calibrate import (
+        calibration_with_overrides,
+        render_calibration,
+        run_calibration,
+    )
+    from repro.core.simcfg import SIM_CALIBRATIONS
+    from repro.obs import MetricRegistry
+
+    workloads = [args.workload] if args.workload else sorted(SIM_CALIBRATIONS)
+    registry = MetricRegistry()
+    for name in workloads:
+        cal = calibration_with_overrides(
+            name,
+            activation_byte_scale=args.act_scale,
+            param_byte_scale=args.param_scale,
+            memory_capacity_mib=args.cap_mib,
+        )
+        rows = run_calibration(cal, registry=registry)
+        print(render_calibration(cal, rows))
+        print()
+    if args.json:
+        import json
+
+        print(json.dumps(registry.snapshot(), indent=1, sort_keys=True))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argparse tree for the ``repro`` CLI."""
     parser = argparse.ArgumentParser(prog="repro", description=__doc__,
@@ -385,6 +506,51 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--out", default=None,
                    help="directory for trace.json / run_report.{json,md}")
     p.set_defaults(fn=_cmd_report)
+
+    p = sub.add_parser("bench", help="hot-path benchmark suite -> BENCH_<n>.json")
+    p.add_argument("--suite", default="full",
+                   help="full, smoke, or a group name (see --list)")
+    p.add_argument("--repeats", type=int, default=5, help="timed repeats per benchmark")
+    p.add_argument("--warmup", type=int, default=1, help="untimed warmup runs")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--out", default=None,
+                   help="output file or directory (default: auto-numbered "
+                        "BENCH_<n>.json in the current directory)")
+    p.add_argument("--no-write", action="store_true",
+                   help="measure and print without writing a BENCH file")
+    p.add_argument("--compare", default=None, metavar="BASELINE.json",
+                   help="compare against a baseline BENCH file; exit 1 on regression")
+    p.add_argument("--input", default=None, metavar="CURRENT.json",
+                   help="compare an existing BENCH file instead of re-measuring "
+                        "(file-vs-file; requires --compare)")
+    p.add_argument("--threshold", type=float, default=0.25,
+                   help="relative regression threshold on median time / peak "
+                        "allocation (default 0.25)")
+    p.add_argument("--report-only", action="store_true",
+                   help="print the comparison but never fail the exit code")
+    p.add_argument("--trace", default=None, metavar="TRACE.json",
+                   help="also export one Chrome-trace span per timed repeat")
+    p.add_argument("--calibrate", action="store_true",
+                   help="run the calibration matrix first and record its "
+                        "calibrate.* gauges in the environment fingerprint")
+    p.add_argument("--list", action="store_true",
+                   help="list benchmarks and suites, then exit")
+    p.set_defaults(fn=_cmd_bench)
+
+    p = sub.add_parser("calibrate",
+                       help="baseline/AvgPipe calibration matrix + calibrate.* gauges")
+    p.add_argument("workload", nargs="?", default=None,
+                   choices=["gnmt", "bert", "awd"],
+                   help="one workload (default: all)")
+    p.add_argument("--act-scale", type=float, default=None,
+                   help="override activation_byte_scale")
+    p.add_argument("--param-scale", type=float, default=None,
+                   help="override param_byte_scale")
+    p.add_argument("--cap-mib", type=float, default=None,
+                   help="override per-device memory capacity (MiB)")
+    p.add_argument("--json", action="store_true",
+                   help="also dump the calibrate.* gauge snapshot as JSON")
+    p.set_defaults(fn=_cmd_calibrate)
     return parser
 
 

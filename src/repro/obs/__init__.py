@@ -7,6 +7,15 @@ identical to the uninstrumented ones (the obs test suite pins both
 properties).
 """
 
+from repro.obs.bench import (
+    Benchmark,
+    BenchResult,
+    bench_catalog,
+    compare_payloads,
+    run_benchmark,
+    run_suite,
+    select_suite,
+)
 from repro.obs.registry import (
     DEFAULT_TIME_BUCKETS,
     NULL_REGISTRY,
@@ -36,4 +45,11 @@ __all__ = [
     "publish_cluster",
     "RunReport",
     "build_run_report",
+    "Benchmark",
+    "BenchResult",
+    "bench_catalog",
+    "compare_payloads",
+    "run_benchmark",
+    "run_suite",
+    "select_suite",
 ]

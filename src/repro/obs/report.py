@@ -140,12 +140,15 @@ class RunReport:
                 "",
                 "## Span durations (ms)",
                 "",
-                "| device | kind | count | p50 | p95 | p99 |",
-                "|---|---|---|---|---|---|",
+                "| device | kind | count | mean | p50 | p95 | p99 |",
+                "|---|---|---|---|---|---|---|",
             ]
             for row in self.span_summary:
+                # mean is the exact sum/count sidecar; the quantiles are
+                # bucket estimates — showing both reveals skew at a glance.
                 lines.append(
                     f"| {row['device']} | {row['kind']} | {row['count']} | "
+                    f"{row['mean'] * 1e3:.3f} | "
                     f"{row['p50'] * 1e3:.3f} | {row['p95'] * 1e3:.3f} | "
                     f"{row['p99'] * 1e3:.3f} |"
                 )
@@ -157,10 +160,13 @@ class RunReport:
                 "",
                 f"- rounds: {n['rounds']:.0f}; final loss: {n['final_loss']:.4f}",
                 f"- divergence ‖x_i − x̃‖ (RMS): {n['divergence']:.6f}",
-                f"- α: {n['alpha']:.4f}; α-pull RMS p50/p95: "
+                f"- α: {n['alpha']:.4f}; α-pull RMS mean/p50/p95: "
+                f"{n.get('pull_rms_mean', float('nan')):.2e} / "
                 f"{n['pull_rms_p50']:.2e} / {n['pull_rms_p95']:.2e}",
                 f"- reference updates: {n['reference_updates']:.0f}; "
-                f"update RMS p50: {n['update_rms_p50']:.2e}",
+                f"update RMS mean/p50: "
+                f"{n.get('update_rms_mean', float('nan')):.2e} / "
+                f"{n['update_rms_p50']:.2e}",
             ]
         lines += [
             "",
@@ -228,6 +234,7 @@ def build_run_report(
             "device": int(labels["device"]),
             "kind": labels["kind"],
             "count": s["count"],
+            "mean": s["mean"],
             "p50": s["p50"],
             "p95": s["p95"],
             "p99": s["p99"],
@@ -285,9 +292,11 @@ def _numerics_telemetry(registry: MetricRegistry, seed: int, epochs: int) -> dic
         "final_loss": result.final_metric,
         "divergence": registry.value("train.divergence"),
         "alpha": registry.value("train.alpha"),
+        "pull_rms_mean": pull.mean if pull is not None else float("nan"),
         "pull_rms_p50": pull.quantile(0.5) if pull is not None else float("nan"),
         "pull_rms_p95": pull.quantile(0.95) if pull is not None else float("nan"),
         "reference_updates": registry.value("elastic.reference_updates"),
+        "update_rms_mean": update.mean if update is not None else float("nan"),
         "update_rms_p50": update.quantile(0.5) if update is not None else float("nan"),
         "samples": registry.value("train.samples"),
     }

@@ -1,0 +1,298 @@
+"""`repro bench` harness tests.
+
+Three properties the benchmark subsystem guarantees:
+
+* the BENCH_<n>.json document is deterministic across two runs in the
+  same environment once timings and allocation jitter are excluded —
+  including each benchmark's ``check`` value, which is a *bitwise*
+  checksum of the benchmarked computation;
+* ``--compare`` is a regression gate: self-compare (file vs itself)
+  exits 0, an injected >= 2x slowdown exits 1, and ``--report-only``
+  never fails the exit code;
+* the harness is observation-only: running a benchmark under the full
+  instrumentation stack (registry + trace recorder + tracemalloc)
+  produces bitwise the same numerics as calling the same thunk bare.
+"""
+
+import copy
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.obs import MetricRegistry
+from repro.obs.bench import (
+    Benchmark,
+    bench_catalog,
+    compare_payloads,
+    next_bench_path,
+    run_benchmark,
+    run_suite,
+    select_suite,
+    suite_names,
+    to_payload,
+    write_payload,
+    _seed_everything,
+)
+
+
+def _catalog_by_name() -> dict[str, Benchmark]:
+    return {b.name: b for b in bench_catalog()}
+
+
+def _fast_payload(repeats: int = 1) -> dict:
+    """A real (but cheap) suite run: the 'core' group."""
+    benches = select_suite("core")
+    results, registry, _ = run_suite(benches, repeats=repeats, warmup=0, seed=0)
+    return to_payload(results, "core", repeats, 0, 0, registry)
+
+
+def _strip_volatile(payload: dict) -> dict:
+    """Everything that may differ between two runs on one machine."""
+    out = copy.deepcopy(payload)
+    out.pop("timestamp", None)
+    for bench in out["benchmarks"]:
+        bench.pop("timing", None)
+        bench.pop("alloc", None)
+    return out
+
+
+# --------------------------------------------------------------------- #
+# catalog / suites
+
+
+def test_catalog_covers_the_hot_paths():
+    names = set(_catalog_by_name())
+    # the acceptance floor: >= 8 distinct benchmarks over the Tier-1 paths
+    assert len(names) >= 8
+    for required in (
+        "model.step.gnmt", "model.step.bert", "model.step.awd",
+        "sim.events.large", "elastic.round", "checkpoint.roundtrip",
+        "trace.export",
+    ):
+        assert required in names
+    # one generation benchmark per registered schedule
+    from repro.verify import VERIFIED_SCHEDULES
+
+    for sched in VERIFIED_SCHEDULES:
+        assert f"sched.gen.{sched}" in names
+
+
+def test_suite_selection():
+    assert [b.name for b in select_suite("full")] == [b.name for b in bench_catalog()]
+    smoke = select_suite("smoke")
+    assert all(b.smoke for b in smoke)
+    assert {b.group for b in select_suite("sched")} == {"sched"}
+    assert set(suite_names()) >= {"full", "smoke", "models", "sim", "sched", "core", "obs"}
+    with pytest.raises(KeyError):
+        select_suite("nope")
+
+
+def test_next_bench_path_numbering(tmp_path):
+    assert next_bench_path(tmp_path).name == "BENCH_1.json"
+    (tmp_path / "BENCH_1.json").write_text("{}")
+    (tmp_path / "BENCH_7.json").write_text("{}")
+    (tmp_path / "BENCH_x.json").write_text("{}")  # non-matching: ignored
+    assert next_bench_path(tmp_path).name == "BENCH_8.json"
+
+
+# --------------------------------------------------------------------- #
+# schema determinism
+
+
+def test_payload_schema_deterministic_across_runs():
+    first = _fast_payload()
+    second = _fast_payload()
+    assert _strip_volatile(first) == _strip_volatile(second)
+    # and the stripped document still carries the full identity: schema
+    # tag, environment fingerprint, params and the bitwise check values
+    doc = _strip_volatile(first)
+    assert doc["schema"] == "repro.obs.bench/v1"
+    assert doc["environment"]["python"]
+    assert doc["environment"]["calibration"]["awd"]["batch_size"] == 40
+    for bench in doc["benchmarks"]:
+        assert bench["name"] and bench["group"]
+
+
+def test_payload_contents(tmp_path):
+    payload = _fast_payload()
+    for bench in payload["benchmarks"]:
+        timing = bench["timing"]
+        assert timing["repeats"] == len(timing["samples_s"]) == 1
+        assert timing["median_s"] > 0
+        assert timing["min_s"] <= timing["median_s"] <= timing["max_s"]
+        assert bench["alloc"]["peak_bytes"] >= 0
+    path = write_payload(payload, tmp_path)
+    assert path.name == "BENCH_1.json"
+    assert json.loads(path.read_text()) == payload
+
+
+# --------------------------------------------------------------------- #
+# compare verdicts
+
+
+def _synthetic_payload(**medians_and_peaks) -> dict:
+    benches = []
+    for name, (median, peak) in medians_and_peaks.items():
+        benches.append({
+            "name": name,
+            "group": "x",
+            "params": {},
+            "check": None,
+            "timing": {"repeats": 3, "warmup": 1, "median_s": median,
+                       "iqr_s": 0.0, "mean_s": median, "min_s": median,
+                       "max_s": median, "samples_s": [median] * 3},
+            "alloc": {"peak_bytes": peak, "net_bytes": 0, "net_blocks": 0},
+        })
+    return {"schema": "repro.obs.bench/v1", "suite": "x", "repeats": 3,
+            "warmup": 1, "seed": 0, "environment": {}, "benchmarks": benches}
+
+
+def test_compare_flags_time_and_alloc_regressions():
+    base = _synthetic_payload(a=(1.0, 1000), b=(1.0, 1000), c=(1.0, 1000))
+    cur = _synthetic_payload(a=(2.0, 1000),   # 2x slower
+                             b=(1.0, 2000),   # 2x more peak allocation
+                             c=(1.2, 1100))   # inside the 25% threshold
+    report = compare_payloads(base, cur)
+    verdicts = {r.name: r.regressed for r in report.rows}
+    assert verdicts == {"a": True, "b": True, "c": False}
+    a = next(r for r in report.rows if r.name == "a")
+    assert a.time_ratio == pytest.approx(2.0)
+    assert "wall time" in a.reasons[0]
+
+
+def test_compare_ignores_disjoint_benchmarks():
+    base = _synthetic_payload(a=(1.0, 1000), only_base=(1.0, 1000))
+    cur = _synthetic_payload(a=(1.0, 1000), only_cur=(99.0, 1000))
+    report = compare_payloads(base, cur)
+    assert report.ok
+    assert report.only_in_baseline == ["only_base"]
+    assert report.only_in_current == ["only_cur"]
+
+
+def test_compare_threshold_is_configurable():
+    base = _synthetic_payload(a=(1.0, 1000))
+    cur = _synthetic_payload(a=(1.2, 1000))
+    assert compare_payloads(base, cur, threshold=0.25).ok
+    assert not compare_payloads(base, cur, threshold=0.1).ok
+    with pytest.raises(ValueError):
+        compare_payloads(base, cur, threshold=-1)
+
+
+# --------------------------------------------------------------------- #
+# CLI: self-compare exits 0, injected 2x slowdown exits 1
+
+
+@pytest.fixture(scope="module")
+def bench_file(tmp_path_factory):
+    tmp = tmp_path_factory.mktemp("bench")
+    payload = _fast_payload()
+    return write_payload(payload, tmp / "BENCH_1.json")
+
+
+def test_cli_self_compare_exits_zero(bench_file, capsys):
+    code = main(["bench", "--input", str(bench_file), "--compare", str(bench_file)])
+    assert code == 0
+    assert "no regressions" in capsys.readouterr().out
+
+
+def test_cli_injected_slowdown_exits_nonzero(bench_file, tmp_path, capsys):
+    baseline = json.loads(bench_file.read_text())
+    for bench in baseline["benchmarks"]:
+        # an injected 2x slowdown: the current run's medians are twice
+        # the baseline's
+        bench["timing"]["median_s"] /= 2.0
+    slow_base = tmp_path / "BENCH_base.json"
+    slow_base.write_text(json.dumps(baseline))
+    code = main(["bench", "--input", str(bench_file), "--compare", str(slow_base)])
+    assert code == 1
+    assert "REGRESSED" in capsys.readouterr().out
+
+    # report-only mode prints the same verdicts but never fails
+    code = main(["bench", "--input", str(bench_file), "--compare", str(slow_base),
+                 "--report-only"])
+    assert code == 0
+
+
+def test_cli_runs_and_writes(tmp_path, capsys):
+    out = tmp_path / "out.json"
+    code = main(["bench", "--suite", "sched", "--repeats", "1", "--warmup", "0",
+                 "--out", str(out)])
+    assert code == 0
+    payload = json.loads(out.read_text())
+    assert payload["suite"] == "sched"
+    assert len(payload["benchmarks"]) == len(select_suite("sched"))
+    assert "repro bench" in capsys.readouterr().out
+
+
+# --------------------------------------------------------------------- #
+# instrumentation is observation-only
+
+
+def test_instrumented_run_is_bitwise_identical_to_bare():
+    """The harness (registry + trace + tracemalloc) must not perturb the
+    computation it measures: replaying the same seeded thunk the same
+    number of times bare yields bitwise the same scalar."""
+    from repro.sim.trace import TraceRecorder
+
+    bench = _catalog_by_name()["model.step.awd"]
+    repeats, warmup = 2, 1
+    registry = MetricRegistry()
+    result = run_benchmark(
+        bench, repeats=repeats, warmup=warmup, seed=0,
+        registry=registry, trace=TraceRecorder(), trace_origin=0.0,
+    )
+    assert isinstance(result.check, float)
+
+    # bare replay: same seeding, same call count (warmup + timed + alloc)
+    _seed_everything(0)
+    thunk = bench.setup(0)
+    for _ in range(warmup + repeats):
+        thunk()
+    bare = thunk()
+    assert bare == result.check  # bitwise, not approximately
+
+    # and the registry mirrored exactly the timed repeats
+    hist = registry.get("bench.wall_seconds", benchmark=bench.name)
+    assert hist is not None and hist.count == repeats
+
+
+def test_run_without_registry_records_nothing_and_matches():
+    bench = _catalog_by_name()["elastic.round"]
+    with_reg = run_benchmark(bench, repeats=1, warmup=0, seed=3,
+                             registry=MetricRegistry())
+    without = run_benchmark(bench, repeats=1, warmup=0, seed=3, registry=None)
+    assert with_reg.check == without.check
+
+
+def test_run_benchmark_rejects_zero_repeats():
+    bench = _catalog_by_name()["sched.gen.afab"]
+    with pytest.raises(ValueError):
+        run_benchmark(bench, repeats=0)
+
+
+# --------------------------------------------------------------------- #
+# calibrate gauges reach the fingerprint
+
+
+def test_calibrate_publishes_gauges_into_fingerprint():
+    from repro.core.calibrate import run_calibration
+    from repro.core.simcfg import calibration_for
+    from repro.obs.bench import fingerprint
+
+    registry = MetricRegistry()
+    rows = run_calibration(calibration_for("awd"), registry=registry)
+    assert any(r.system.startswith("avgpipe") and r.feasible for r in rows)
+    fp = fingerprint(registry)
+    gauges = fp["calibration_gauges"]
+    assert any(k.startswith("calibrate.batch_ms") for k in gauges)
+    # strict-JSON safety: no inf/nan survives into the fingerprint
+    assert all(v is None or v == v and abs(v) != float("inf") for v in gauges.values())
+
+
+def test_calibrate_cli_prints_matrix(capsys):
+    code = main(["calibrate", "awd"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "calibration — awd" in out
+    assert "avgpipe" in out
