@@ -22,6 +22,10 @@ import sys
 
 MIB = 2**20
 
+# Sentinel for a bare `--compare` (no path): resolve to the newest
+# BENCH_<n>.json at command time.
+_LATEST_BASELINE = "<latest>"
+
 
 def _cmd_plan(args: argparse.Namespace) -> int:
     from repro.core import AvgPipe
@@ -312,6 +316,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 
     from repro.obs.bench import (
         compare_payloads,
+        latest_bench_path,
         render_compare,
         render_results,
         run_suite,
@@ -320,6 +325,17 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         to_payload,
         write_payload,
     )
+
+    if args.compare is _LATEST_BASELINE:
+        # Bare --compare: the newest baseline is the highest-numbered
+        # BENCH_<n>.json (next_bench_path numbers past the max, so the
+        # ordering survives deleted early files).
+        resolved = latest_bench_path(".")
+        if resolved is None:
+            print("--compare: no BENCH_<n>.json baseline in the current directory")
+            return 2
+        print(f"--compare: using newest baseline {resolved}")
+        args.compare = str(resolved)
 
     if args.list:
         for bench in select_suite("full"):
@@ -338,7 +354,10 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             return 2
         with open(args.compare) as fh:
             baseline = json.load(fh)
-        report = compare_payloads(baseline, payload, threshold=args.threshold)
+        report = compare_payloads(
+            baseline, payload,
+            threshold=args.threshold, time_threshold=args.time_threshold,
+        )
         print(render_compare(report))
         return 0 if (report.ok or args.report_only) else 1
 
@@ -388,7 +407,10 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     if args.compare is not None:
         with open(args.compare) as fh:
             baseline = json.load(fh)
-        report = compare_payloads(baseline, payload, threshold=args.threshold)
+        report = compare_payloads(
+            baseline, payload,
+            threshold=args.threshold, time_threshold=args.time_threshold,
+        )
         print()
         print(render_compare(report))
         if not report.ok and not args.report_only:
@@ -518,14 +540,21 @@ def build_parser() -> argparse.ArgumentParser:
                         "BENCH_<n>.json in the current directory)")
     p.add_argument("--no-write", action="store_true",
                    help="measure and print without writing a BENCH file")
-    p.add_argument("--compare", default=None, metavar="BASELINE.json",
-                   help="compare against a baseline BENCH file; exit 1 on regression")
+    p.add_argument("--compare", nargs="?", default=None, const=_LATEST_BASELINE,
+                   metavar="BASELINE.json",
+                   help="compare against a baseline BENCH file (bare --compare "
+                        "uses the highest-numbered BENCH_<n>.json in the "
+                        "current directory); exit 1 on regression")
     p.add_argument("--input", default=None, metavar="CURRENT.json",
                    help="compare an existing BENCH file instead of re-measuring "
                         "(file-vs-file; requires --compare)")
     p.add_argument("--threshold", type=float, default=0.25,
                    help="relative regression threshold on median time / peak "
                         "allocation (default 0.25)")
+    p.add_argument("--time-threshold", type=float, default=None,
+                   help="override --threshold for the wall-time check only "
+                        "(peak allocation is deterministic; wall time is not — "
+                        "a cross-machine gate wants them split)")
     p.add_argument("--report-only", action="store_true",
                    help="print the comparison but never fail the exit code")
     p.add_argument("--trace", default=None, metavar="TRACE.json",

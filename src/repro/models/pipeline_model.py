@@ -97,9 +97,18 @@ class PipelineModel:
     # module-ish plumbing
 
     def named_parameters(self):
-        for i, layer in enumerate(self.layers):
-            for name, p in layer.named_parameters():
-                yield f"layer{i}.{name}", p
+        # The flattened walk is cached: every layer creates all of its
+        # parameters in __init__ and nothing rebinds them afterwards, so
+        # the (name, Parameter) pairs are fixed for the model's lifetime.
+        cache = self.__dict__.get("_named_params")
+        if cache is None:
+            cache = [
+                (f"layer{i}.{name}", p)
+                for i, layer in enumerate(self.layers)
+                for name, p in layer.named_parameters()
+            ]
+            self.__dict__["_named_params"] = cache
+        return iter(cache)
 
     def parameters(self):
         for _, p in self.named_parameters():

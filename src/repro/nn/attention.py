@@ -6,7 +6,8 @@ import numpy as np
 
 from repro.nn.linear import Linear
 from repro.nn.module import Module
-from repro.tensor import Tensor, dropout, softmax
+from repro.tensor import Tensor
+from repro.tensor.functional import scaled_dot_attention
 
 __all__ = ["MultiHeadAttention"]
 
@@ -53,17 +54,21 @@ class MultiHeadAttention(Module):
         k = self._split_heads(self.k_proj(key))
         v = self._split_heads(self.v_proj(value))
 
-        scores = (q @ k.transpose(0, 1, 3, 2)) * (1.0 / np.sqrt(self.d_head))
+        bias = None
         if mask is not None:
             mask = np.asarray(mask)
             if mask.dtype == bool:
-                bias = np.where(mask, 0.0, -1e9).astype(scores.dtype)
+                bias = np.where(mask, 0.0, -1e9).astype(q.dtype)
             else:
-                bias = mask.astype(scores.dtype)
-            scores = scores + Tensor(bias)
-        attn = softmax(scores, axis=-1)
-        attn = dropout(attn, self.attn_dropout, self._rng, training=self.training)
-        ctx = attn @ v  # (B, H, Tq, dh)
+                bias = mask.astype(q.dtype)
+        ctx = scaled_dot_attention(
+            q, k, v,
+            scale=1.0 / np.sqrt(self.d_head),
+            bias=bias,
+            dropout_p=self.attn_dropout,
+            rng=self._rng,
+            training=self.training,
+        )  # (B, H, Tq, dh)
         ctx = ctx.transpose(0, 2, 1, 3).reshape(b, tq, self.d_model)
         return self.out_proj(ctx)
 

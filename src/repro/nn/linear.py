@@ -5,6 +5,7 @@ from __future__ import annotations
 from repro.nn import init
 from repro.nn.module import Module, Parameter
 from repro.tensor import Tensor
+from repro.tensor.functional import linear
 
 __all__ = ["Linear"]
 
@@ -27,6 +28,9 @@ class Linear(Module):
     def forward(self, x: Tensor) -> Tensor:
         if x.shape[-1] != self.in_features:
             raise ValueError(f"Linear expected last dim {self.in_features}, got {x.shape}")
+        if x.ndim >= 2:
+            return linear(x, self.weight, self.bias)
+        # 1-d input: fall back to the composed ops (vector matmul grads).
         out = x @ self.weight.T
         if self.bias is not None:
             out = out + self.bias

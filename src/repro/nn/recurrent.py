@@ -13,7 +13,8 @@ import numpy as np
 
 from repro.nn import init
 from repro.nn.module import Module, Parameter
-from repro.tensor import Tensor, sigmoid, stack, tanh, zeros
+from repro.tensor import Tensor, zeros
+from repro.tensor.functional import lstm_cell
 
 __all__ = ["LSTMCell", "LSTM"]
 
@@ -36,15 +37,9 @@ class LSTMCell(Module):
         h, c = state
         if x.shape[-1] != self.input_size:
             raise ValueError(f"LSTMCell expected input dim {self.input_size}, got {x.shape}")
-        gates = x @ self.weight_ih.T + h @ self.weight_hh.T + self.bias
-        hs = self.hidden_size
-        i = sigmoid(gates[:, 0 * hs : 1 * hs])
-        f = sigmoid(gates[:, 1 * hs : 2 * hs])
-        g = tanh(gates[:, 2 * hs : 3 * hs])
-        o = sigmoid(gates[:, 3 * hs : 4 * hs])
-        c_next = f * c + i * g
-        h_next = o * tanh(c_next)
-        return h_next, c_next
+        return lstm_cell(
+            x, h, c, self.weight_ih, self.weight_hh, self.bias, self.hidden_size
+        )
 
     def init_state(self, batch_size: int) -> tuple[Tensor, Tensor]:
         return (zeros(batch_size, self.hidden_size), zeros(batch_size, self.hidden_size))
@@ -72,11 +67,26 @@ class LSTM(Module):
         if state is None:
             state = self.cell.init_state(batch)
         h, c = state
-        outputs: list[Tensor] = []
+        cell = self.cell
+        # Write each step's output straight into the preallocated stacked
+        # buffer instead of stack()-ing T tensors at the end; the joining
+        # node keeps stack's exact split backward, so outputs and grads are
+        # bitwise identical to the composed form (tested).
+        steps: list[Tensor] = []
+        out_buf: np.ndarray | None = None
         for t in range(seq_len):
-            h, c = self.cell(x[t], (h, c))
-            outputs.append(h)
-        return stack(outputs, axis=0), (h, c)
+            h, c = cell(x[t], (h, c))
+            if out_buf is None:
+                out_buf = np.empty((seq_len, *h.shape), dtype=h.dtype)
+            out_buf[t] = h.data
+            steps.append(h)
+
+        def backward(g: np.ndarray):
+            pieces = np.split(g, seq_len, axis=0)
+            return tuple(p.squeeze(axis=0) for p in pieces)
+
+        outputs = Tensor._make(out_buf, tuple(steps), backward, "stack")
+        return outputs, (h, c)
 
     def __repr__(self) -> str:
         return f"LSTM(in={self.input_size}, hidden={self.hidden_size})"

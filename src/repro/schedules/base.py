@@ -43,16 +43,45 @@ class StageOp:
             raise ValueError(f"negative micro-batch index {self.micro}")
 
 
+# StageOp is frozen, so instances are freely shared: every stream for a
+# given micro-batch count draws from these interned pools instead of
+# re-running the dataclass constructor per slot.
+_FWD_POOL: list[StageOp] = []
+_BWD_POOL: list[StageOp] = []
+
+
+def _ensure_pools(n: int) -> None:
+    while len(_FWD_POOL) < n:
+        i = len(_FWD_POOL)
+        _FWD_POOL.append(StageOp("fwd", i))
+        _BWD_POOL.append(StageOp("bwd", i))
+
+
 def _interleaved_stream(num_micro: int, warmup: int) -> list[StageOp]:
     """F x warmup, then (F, B) pairs, then drain the remaining Bs."""
     warmup = max(0, min(warmup, num_micro))
-    ops: list[StageOp] = [StageOp("fwd", i) for i in range(warmup)]
-    for j in range(num_micro - warmup):
-        ops.append(StageOp("fwd", warmup + j))
-        ops.append(StageOp("bwd", j))
-    for j in range(num_micro - warmup, num_micro):
-        ops.append(StageOp("bwd", j))
+    _ensure_pools(num_micro)
+    ops = _FWD_POOL[:warmup]
+    steady = num_micro - warmup
+    ops.extend(
+        op
+        for pair in zip(_FWD_POOL[warmup:num_micro], _BWD_POOL[:steady])
+        for op in pair
+    )
+    ops.extend(_BWD_POOL[steady:num_micro])
     return ops
+
+
+def _interleaved_stash_bound(num_micro: int, warmup: int) -> int:
+    """Closed-form peak in-flight count of :func:`_interleaved_stream`.
+
+    The depth rises through the warmup forwards, gains one more on each
+    steady-state forward before the paired backward retires one — so the
+    peak is ``warmup + 1``, capped at ``num_micro`` when the warmup
+    already covers the whole batch (the stream degenerates to AFAB).
+    """
+    warmup = max(0, min(warmup, num_micro))
+    return num_micro if warmup >= num_micro else warmup + 1
 
 
 class Schedule:
@@ -95,9 +124,13 @@ class AFABSchedule(Schedule):
 
     def stage_ops(self, stage: int, num_stages: int, num_micro: int) -> list[StageOp]:
         self._validate(stage, num_stages, num_micro)
-        return [StageOp("fwd", i) for i in range(num_micro)] + [
-            StageOp("bwd", i) for i in range(num_micro)
-        ]
+        _ensure_pools(num_micro)
+        return _FWD_POOL[:num_micro] + _BWD_POOL[:num_micro]
+
+    def stash_bound(self, stage: int, num_stages: int, num_micro: int) -> int:
+        # All forwards run before any backward: the whole batch is stashed.
+        self._validate(stage, num_stages, num_micro)
+        return num_micro
 
 
 class OneFOneBSchedule(Schedule):
@@ -122,6 +155,10 @@ class OneFOneBSchedule(Schedule):
         self._validate(stage, num_stages, num_micro)
         return _interleaved_stream(num_micro, warmup=num_stages - 1 - stage)
 
+    def stash_bound(self, stage: int, num_stages: int, num_micro: int) -> int:
+        self._validate(stage, num_stages, num_micro)
+        return _interleaved_stash_bound(num_micro, warmup=num_stages - 1 - stage)
+
     def weight_versions(self, stage: int, num_stages: int) -> int:
         return self.versions
 
@@ -145,6 +182,11 @@ class AdvanceFPSchedule(Schedule):
         warmup = (num_stages - 1 - stage) + self.advance
         return _interleaved_stream(num_micro, warmup=warmup)
 
+    def stash_bound(self, stage: int, num_stages: int, num_micro: int) -> int:
+        self._validate(stage, num_stages, num_micro)
+        warmup = (num_stages - 1 - stage) + self.advance
+        return _interleaved_stash_bound(num_micro, warmup=warmup)
+
     def weight_versions(self, stage: int, num_stages: int) -> int:
         return 1  # AvgPipe pipelines are synchronous per batch
 
@@ -167,6 +209,10 @@ class PipeDreamSchedule(Schedule):
     def stage_ops(self, stage: int, num_stages: int, num_micro: int) -> list[StageOp]:
         self._validate(stage, num_stages, num_micro)
         return _interleaved_stream(num_micro, warmup=num_stages - 1 - stage)
+
+    def stash_bound(self, stage: int, num_stages: int, num_micro: int) -> int:
+        self._validate(stage, num_stages, num_micro)
+        return _interleaved_stash_bound(num_micro, warmup=num_stages - 1 - stage)
 
     def weight_versions(self, stage: int, num_stages: int) -> int:
         return num_stages - stage

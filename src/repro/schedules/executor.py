@@ -333,10 +333,10 @@ class PipelineSimRunner:
         total = sim.now - start_time
         horizon = sim.now
 
-        decomposition = []
-        for dev in range(self.cluster.num_devices):
-            d = self.trace.time_decomposition(dev)
-            decomposition.append({key: v / iterations for key, v in d.items()})
+        decomposition = [
+            {key: v / iterations for key, v in d.items()}
+            for d in self.trace.time_decomposition_all(self.cluster.num_devices)
+        ]
 
         peak_mem = [dev.memory.peak for dev in self.cluster.devices]
         data_peak = [dev.memory.peak_by_tag.get("activations", 0) for dev in self.cluster.devices]
@@ -469,91 +469,106 @@ class PipelineSimRunner:
         ops = self.schedule.stage_ops(stage, K, M)
         sync = self.schedule.sync_at_batch_end
 
+        # Per-stage constants, hoisted out of the event-driven hot loop.
+        crashed = self._crashed
+        stash_outstanding = self._stash_outstanding
+        last_progress = self.last_progress
+        trace_record = self.trace.record
+        memory = device.memory
+        run_kernel = device.run_kernel
+        dev_index = device.index
+        mb_size = self.mb_size
+        key = (pipeline, stage)
+        stash = self._stash_bytes(stage)
+        fwd_flops = self.costs.fwd_flops[stage]
+        bwd_flops = fwd_flops * BWD_FLOP_FACTOR
+        if self.activation_recompute:
+            # Re-materialize the stash: one extra forward pass.
+            bwd_flops += fwd_flops
+        this_dev = self._device_of(pipeline, stage)
+        fwd_name = f"p{pipeline}.fwd"
+        bwd_name = f"p{pipeline}.bwd"
+        if stage < K - 1:
+            down_dev = self._device_of(pipeline, stage + 1)
+            down_bytes = self.costs.act_out_bytes[stage]
+            down_link = self.cluster.link(this_dev, down_dev)
+            act_wait_row = act_ready[pipeline][stage]
+            act_send_row = act_ready[pipeline][stage + 1]
+            grad_wait_row = grad_ready[pipeline][stage]
+        else:
+            act_wait_row = act_ready[pipeline][stage]
+        if stage > 0:
+            up_dev = self._device_of(pipeline, stage - 1)
+            up_bytes = self.costs.act_out_bytes[stage - 1]
+            up_link = self.cluster.link(this_dev, up_dev)
+            grad_send_row = grad_ready[pipeline][stage - 1]
+        # The op sequence repeats every iteration: pre-resolve kind and the
+        # trace label once instead of per (iteration, op).
+        op_seq = [(op.kind == "fwd", op.micro, str(op.micro + 1)) for op in ops]
+
         for it in range(iterations):
             if oom_box:
                 return
-            if pipeline in self._crashed:
+            if pipeline in crashed:
                 self._drain_stage(pipeline, stage, device)
                 return
-            for op in ops:
-                if pipeline in self._crashed:
+            base = it * M
+            for is_fwd, micro, label in op_seq:
+                if pipeline in crashed:
                     self._drain_stage(pipeline, stage, device)
                     return
-                mb = it * M + op.micro
-                if op.kind == "fwd":
+                mb = base + micro
+                if is_fwd:
                     # -- wait for the activation from upstream ---------------
                     if stage > 0:
-                        yield from self._classified_wait(
-                            sim, device.index, act_ready[pipeline][stage][mb]
-                        )
-                        if pipeline in self._crashed:  # woken by the abort
+                        tag = act_wait_row[mb]
+                        if not tag.event.triggered:
+                            yield from self._classified_wait(sim, dev_index, tag)
+                        if pipeline in crashed:  # woken by the abort
                             self._drain_stage(pipeline, stage, device)
                             return
                     # -- stash activation memory -----------------------------
-                    stash = self._stash_bytes(stage)
                     try:
-                        device.memory.alloc(stash, tag="activations")
+                        memory.alloc(stash, tag="activations")
                     except OutOfMemoryError as oom:
                         oom_box.append(oom)
                         return
-                    key = (pipeline, stage)
-                    self._stash_outstanding[key] = self._stash_outstanding.get(key, 0) + 1
+                    stash_outstanding[key] = stash_outstanding.get(key, 0) + 1
                     # -- compute ---------------------------------------------
                     t0 = sim.now
-                    yield device.run_kernel(
-                        self.costs.fwd_flops[stage], self.mb_size,
-                        name=f"p{pipeline}.f{mb}",
-                    )
-                    self.trace.record(
-                        device.index, t0, sim.now, SpanKind.FWD, str(op.micro + 1),
+                    yield run_kernel(fwd_flops, mb_size, name=fwd_name)
+                    trace_record(
+                        dev_index, t0, sim.now, SpanKind.FWD, label,
                         pipeline=pipeline, stage=stage, micro=mb,
                     )
-                    self.last_progress[pipeline] = sim.now
+                    last_progress[pipeline] = sim.now
                     # -- ship the activation downstream (asynchronously) -----
                     if stage < K - 1:
                         self._send(
-                            sim,
-                            self._device_of(pipeline, stage),
-                            self._device_of(pipeline, stage + 1),
-                            self.costs.act_out_bytes[stage],
-                            act_ready[pipeline][stage + 1][mb],
-                            comm_sent,
-                            stage,
+                            sim, down_link, down_bytes,
+                            act_send_row[mb], comm_sent, stage,
                         )
                 else:  # bwd
                     if stage < K - 1:
-                        yield from self._classified_wait(
-                            sim, device.index, grad_ready[pipeline][stage][mb]
-                        )
-                        if pipeline in self._crashed:  # woken by the abort
+                        tag = grad_wait_row[mb]
+                        if not tag.event.triggered:
+                            yield from self._classified_wait(sim, dev_index, tag)
+                        if pipeline in crashed:  # woken by the abort
                             self._drain_stage(pipeline, stage, device)
                             return
                     t0 = sim.now
-                    bwd_flops = self.costs.fwd_flops[stage] * BWD_FLOP_FACTOR
-                    if self.activation_recompute:
-                        # Re-materialize the stash: one extra forward pass.
-                        bwd_flops += self.costs.fwd_flops[stage]
-                    yield device.run_kernel(
-                        bwd_flops, self.mb_size,
-                        name=f"p{pipeline}.b{mb}",
-                    )
-                    self.trace.record(
-                        device.index, t0, sim.now, SpanKind.BWD, str(op.micro + 1),
+                    yield run_kernel(bwd_flops, mb_size, name=bwd_name)
+                    trace_record(
+                        dev_index, t0, sim.now, SpanKind.BWD, label,
                         pipeline=pipeline, stage=stage, micro=mb,
                     )
-                    self.last_progress[pipeline] = sim.now
-                    device.memory.free(self._stash_bytes(stage), tag="activations")
-                    key = (pipeline, stage)
-                    self._stash_outstanding[key] = self._stash_outstanding.get(key, 1) - 1
+                    last_progress[pipeline] = sim.now
+                    memory.free(stash, tag="activations")
+                    stash_outstanding[key] = stash_outstanding.get(key, 1) - 1
                     if stage > 0:
                         self._send(
-                            sim,
-                            self._device_of(pipeline, stage),
-                            self._device_of(pipeline, stage - 1),
-                            self.costs.act_out_bytes[stage - 1],
-                            grad_ready[pipeline][stage - 1][mb],
-                            comm_sent,
-                            stage,
+                            sim, up_link, up_bytes,
+                            grad_send_row[mb], comm_sent, stage,
                         )
 
             # ---------------- batch boundary -------------------------------
@@ -591,13 +606,12 @@ class PipelineSimRunner:
     # ------------------------------------------------------------------ #
 
     def _send(
-        self, sim, src_dev: int, dst_dev: int, nbytes: float,
+        self, sim, link, nbytes: float,
         tag: "_TransferTag", comm_sent, src_stage: int,
     ) -> None:
-        link = self.cluster.link(src_dev, dst_dev)
         tag.started_at = sim.now
         t_start = sim.now
-        done = link.transfer(nbytes, name=f"{src_dev}->{dst_dev}")
+        done = link.transfer(nbytes)
 
         def deliver(_: Event) -> None:
             comm_sent[src_stage] += sim.now - t_start

@@ -67,10 +67,16 @@ class Device:
         self.memory = MemoryLedger(capacity=memory_bytes, device_name=f"gpu{index}")
         self.failed = False
         self._slowdown = 1.0
+        self._demand_cache: dict[float, float] = {}
 
     def run_kernel(self, flops: float, micro_batch_size: float, name: str = "kernel") -> Event:
         """Submit a compute kernel; returns its completion event."""
-        demand = self.curve.demand(micro_batch_size)
+        # The curve is a pure function of the micro-batch size and kernels
+        # overwhelmingly share one size, so memoize per device.
+        demand = self._demand_cache.get(micro_batch_size)
+        if demand is None:
+            demand = self.curve.demand(micro_batch_size)
+            self._demand_cache[micro_batch_size] = demand
         return self.compute.execute(flops, demand, name=name)
 
     # ------------------------------------------------------------------ #

@@ -2,7 +2,9 @@
 
 * :class:`Simulator` owns the clock and the event heap.
 * :class:`Event` — one-shot; processes wait on events; ``succeed(value)``
-  wakes all waiters at the current time.
+  wakes all waiters at the current time.  ``cancel()`` tombstones a
+  pending event: it is dropped from the queue without firing and without
+  advancing the clock.
 * :class:`Process` — wraps a generator that yields events; the engine
   resumes the generator with the event's value when it fires.  A process
   is itself an event (fires when the generator returns).
@@ -11,6 +13,16 @@
 The engine is deterministic: simultaneous events fire in schedule order
 (heap ties broken by a monotone sequence number), so every experiment is
 bit-reproducible.
+
+Queue tuning
+------------
+Cancellation is lazy: a tombstoned event stays in the heap and is skipped
+at pop time, so ``cancel()`` is O(1).  When tombstones outnumber live
+entries the heap is compacted in one linear pass (between pops only —
+never mid-drain), which keeps a cancel-heavy workload from dragging a
+dead heap around.  Events that were *succeeded* elsewhere before their
+scheduled time still advance the clock when popped, exactly as before —
+only ``cancel()`` produces clock-invisible entries.
 """
 
 from __future__ import annotations
@@ -20,37 +32,67 @@ from typing import Any, Callable, Generator, Iterable
 
 __all__ = ["Simulator", "Event", "Process", "AllOf"]
 
+# Compact when the heap holds more than this many tombstones AND they are
+# the majority of entries; small heaps are cheaper to drain than rebuild.
+_COMPACT_MIN_TOMBSTONES = 64
+
 
 class Event:
     """A one-shot occurrence processes can wait on."""
 
-    __slots__ = ("sim", "triggered", "value", "callbacks", "name")
+    __slots__ = ("sim", "triggered", "cancelled", "value", "callbacks", "name")
 
     def __init__(self, sim: "Simulator", name: str = "") -> None:
         self.sim = sim
         self.triggered = False
+        self.cancelled = False
         self.value: Any = None
-        self.callbacks: list[Callable[["Event"], None]] = []
+        # Lazily allocated: most events never get a callback before firing.
+        self.callbacks: list[Callable[["Event"], None]] | None = None
         self.name = name
 
     def succeed(self, value: Any = None) -> "Event":
         if self.triggered:
             raise RuntimeError(f"event {self.name or id(self)} already triggered")
+        if self.cancelled:
+            raise RuntimeError(f"event {self.name or id(self)} was cancelled")
         self.triggered = True
         self.value = value
-        callbacks, self.callbacks = self.callbacks, []
-        for cb in callbacks:
-            cb(self)
+        callbacks = self.callbacks
+        if callbacks:
+            self.callbacks = None
+            for cb in callbacks:
+                cb(self)
+        return self
+
+    def cancel(self) -> "Event":
+        """Tombstone a pending event: never fires, never advances the clock.
+
+        Waiters registered via :meth:`add_callback` are discarded — the
+        caller is responsible for not cancelling events a live process
+        still depends on.  Cancelling twice is a no-op; cancelling a
+        triggered event is an error.
+        """
+        if self.triggered:
+            raise RuntimeError(f"cannot cancel fired event {self.name or id(self)}")
+        if not self.cancelled:
+            self.cancelled = True
+            self.callbacks = None
+            self.sim._note_cancel()
         return self
 
     def add_callback(self, callback: Callable[["Event"], None]) -> None:
         if self.triggered:
             callback(self)
+        elif self.callbacks is None:
+            self.callbacks = [callback]
         else:
             self.callbacks.append(callback)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
-        state = "fired" if self.triggered else "pending"
+        state = (
+            "fired" if self.triggered else "cancelled" if self.cancelled else "pending"
+        )
         return f"Event({self.name or hex(id(self))}, {state})"
 
 
@@ -80,21 +122,23 @@ class Process(Event):
     def __init__(self, sim: "Simulator", gen: Generator[Event, Any, Any], name: str = "") -> None:
         super().__init__(sim, name=name or getattr(gen, "__name__", "process"))
         self._gen = gen
+        self._send = gen.send
+        self._resume_cb = self._resume  # one bound method for every resume
         # Kick off via the queue so creation order does not leak into
         # same-instant semantics.
         start = Event(sim, name=f"{self.name}.start")
-        start.add_callback(self._resume)
+        start.callbacks = [self._resume_cb]
         sim.schedule(0.0, start)
 
     def _resume(self, fired: Event) -> None:
         try:
-            target = self._gen.send(fired.value)
+            target = self._send(fired.value)
         except StopIteration as stop:
             self.succeed(stop.value)
             return
         if not isinstance(target, Event):
             raise TypeError(f"process {self.name} yielded {target!r}, expected Event")
-        target.add_callback(self._resume)
+        target.add_callback(self._resume_cb)
 
 
 class Simulator:
@@ -104,6 +148,7 @@ class Simulator:
         self.now = 0.0
         self._heap: list[tuple[float, int, Event]] = []
         self._seq = 0
+        self._tombstones = 0
 
     def schedule(self, delay: float, event: Event) -> Event:
         """Arrange for ``event.succeed()`` at ``now + delay``."""
@@ -125,29 +170,86 @@ class Simulator:
     def all_of(self, events: Iterable[Event]) -> AllOf:
         return AllOf(self, events)
 
+    # ------------------------------------------------------------------ #
+    # tombstone bookkeeping
+
+    def _note_cancel(self) -> None:
+        self._tombstones += 1
+
+    def _should_compact(self) -> bool:
+        return (
+            self._tombstones > _COMPACT_MIN_TOMBSTONES
+            and self._tombstones * 2 > len(self._heap)
+        )
+
+    def _compact(self) -> None:
+        """Drop tombstoned entries and re-heapify (linear time).
+
+        Only entries whose event was cancelled are removed; entries whose
+        event was succeeded early keep their clock-advancing pop, so
+        compaction is invisible to simulation results.
+        """
+        self._heap = [entry for entry in self._heap if not entry[2].cancelled]
+        heapq.heapify(self._heap)
+        self._tombstones = 0
+
+    # ------------------------------------------------------------------ #
+
     def run(self, until: float | None = None) -> float:
         """Drain the heap (optionally up to time ``until``); returns the
         final clock value."""
-        while self._heap:
-            t, _, event = self._heap[0]
+        heap = self._heap
+        pop = heapq.heappop
+        while heap:
+            # Inlined _should_compact(): this check runs once per pop.
+            if self._tombstones > _COMPACT_MIN_TOMBSTONES and self._tombstones * 2 > len(heap):
+                self._compact()
+                heap = self._heap
+                if not heap:
+                    break
+            t = heap[0][0]
             if until is not None and t > until:
                 self.now = until
                 return self.now
-            heapq.heappop(self._heap)
+            event = pop(heap)[2]
+            if event.cancelled:
+                if self._tombstones:
+                    self._tombstones -= 1
+                continue  # dropped without touching the clock
             self.now = t
-            if not event.triggered:  # cancelled/superseded events are skipped
+            if not event.triggered:  # succeeded-early events are skipped
                 event.succeed(event.value)
+            # Same-timestamp batch: everything tied at t already passed the
+            # ``until`` check, so drain the tie without re-peeking it.
+            while heap and heap[0][0] == t:
+                event = pop(heap)[2]
+                if event.cancelled:
+                    if self._tombstones:
+                        self._tombstones -= 1
+                    continue
+                if not event.triggered:
+                    event.succeed(event.value)
         return self.now
 
     def run_until_process(self, process: Process, limit: float = 1e12) -> float:
         """Run until ``process`` completes; raises if the heap drains first."""
+        heap = self._heap
+        pop = heapq.heappop
         while not process.triggered:
-            if not self._heap:
+            # Inlined _should_compact(): this check runs once per pop.
+            if self._tombstones > _COMPACT_MIN_TOMBSTONES and self._tombstones * 2 > len(heap):
+                self._compact()
+                heap = self._heap
+            if not heap:
                 raise RuntimeError(
                     f"deadlock: process {process.name} never completed "
                     f"(no events left at t={self.now})"
                 )
-            t, _, event = heapq.heappop(self._heap)
+            t, _, event = pop(heap)
+            if event.cancelled:
+                if self._tombstones:
+                    self._tombstones -= 1
+                continue
             if t > limit:
                 raise RuntimeError(f"simulation exceeded time limit {limit}")
             self.now = t

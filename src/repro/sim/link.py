@@ -40,6 +40,10 @@ class Link:
             sim, capacity=bandwidth_bytes_per_sec, name=name or f"link{src}->{dst}"
         )
         self._degradation = 1.0
+        # Event names for the default transfer label, composed once: every
+        # pipeline send pays this path, and the strings never change.
+        self._xfer_done_name = f"{self.pipe.name}.xfer"
+        self._xfer_gate_name = self._xfer_done_name + ".latency"
 
     # ------------------------------------------------------------------ #
     # fault hooks (repro.resilience)
@@ -75,15 +79,23 @@ class Link:
         """Start a transfer now; the event fires on delivery."""
         if nbytes < 0:
             raise ValueError(f"negative transfer size {nbytes}")
-        done = self.sim.event(name=f"{self.pipe.name}.{name}")
+        if name == "xfer":
+            done_name = self._xfer_done_name
+            gate_name = self._xfer_gate_name
+        else:
+            done_name = f"{self.pipe.name}.{name}"
+            gate_name = done_name + ".latency"
         if self.latency == 0.0:
-            return self.pipe.execute(nbytes, demand=1.0, name=name) if nbytes > 0 else self.sim.schedule(0.0, done)
+            if nbytes > 0:
+                return self.pipe.execute(nbytes, demand=1.0, name=name)
+            return self.sim.schedule(0.0, Event(self.sim, name=done_name))
+        done = Event(self.sim, name=done_name)
 
         def start(_: Event) -> None:
             stream = self.pipe.execute(nbytes, demand=1.0, name=name)
             stream.add_callback(lambda ev: done.succeed())
 
-        gate = self.sim.event(name=f"{self.pipe.name}.{name}.latency")
+        gate = Event(self.sim, name=gate_name)
         gate.add_callback(start)
         self.sim.schedule(self.latency, gate)
         return done

@@ -23,7 +23,7 @@ finisher.  Stale completion events are recognized by generation counters.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import heapq
 from typing import Callable
 
 from repro.sim.events import Event, Simulator
@@ -33,12 +33,17 @@ __all__ = ["SharedResource"]
 _EPS = 1e-12
 
 
-@dataclass
 class _ActiveTask:
-    work_left: float
-    demand: float
-    done: Event
-    rate: float = 0.0
+    # Plain __slots__ class (not a dataclass): tasks are compared by
+    # identity in the scheduler hot path, and field-by-field __eq__ was
+    # pure overhead there.
+    __slots__ = ("work_left", "demand", "done", "rate")
+
+    def __init__(self, work_left: float, demand: float, done: Event) -> None:
+        self.work_left = work_left
+        self.demand = demand
+        self.done = done
+        self.rate = 0.0
 
 
 class SharedResource:
@@ -55,6 +60,12 @@ class SharedResource:
         self._last_update = 0.0
         self._generation = 0
         self._frozen = False
+        self._tick_name = f"{name}.tick"
+        # Completion-event names, composed once per distinct task label:
+        # callers reuse a handful of labels across thousands of submits.
+        self._task_names: dict[str, str] = {}
+        self._finish_eps = _EPS * (capacity if capacity > 1.0 else 1.0)
+        self._tick_cb = self._on_tick_event
         # (time, total_granted_demand) steps for utilization traces.
         self.utilization_steps: list[tuple[float, float]] = [(0.0, 0.0)]
         self._observers: list[Callable[[float, float], None]] = []
@@ -67,7 +78,11 @@ class SharedResource:
             raise ValueError(f"negative work {work}")
         if not 0 < demand <= 1.0:
             raise ValueError(f"demand must be in (0, 1], got {demand}")
-        done = self.sim.event(name=f"{self.name}.{name}")
+        full_name = self._task_names.get(name)
+        if full_name is None:
+            full_name = f"{self.name}.{name}"
+            self._task_names[name] = full_name
+        done = Event(self.sim, name=full_name)
         if work == 0:
             self.sim.schedule(0.0, done)
             return done
@@ -104,6 +119,7 @@ class SharedResource:
             raise ValueError(f"capacity must be positive, got {capacity}")
         self._settle()
         self.capacity = capacity
+        self._finish_eps = _EPS * (capacity if capacity > 1.0 else 1.0)
         self._reschedule()
 
     def freeze(self) -> None:
@@ -139,36 +155,98 @@ class SharedResource:
 
     def _reschedule(self) -> None:
         """Recompute rates, complete any finished tasks, arm next event."""
-        # Complete tasks whose work is (numerically) exhausted.
-        finished = [t for t in self._active if t.work_left <= _EPS * max(1.0, self.capacity)]
+        # Fast path: exactly one live, unfinished task — the overwhelmingly
+        # common shape on pipeline compute resources.  Same arithmetic as
+        # the general path below (scale is 1.0 since demand <= 1, and
+        # ``d * 1.0 * c`` is bitwise ``d * c``), so results are identical.
+        active = self._active
+        if len(active) == 1:
+            task = active[0]
+            if task.work_left > self._finish_eps:
+                total_demand = task.demand
+                if self._frozen:
+                    task.rate = 0.0
+                    util = 0.0
+                else:
+                    task.rate = task.demand * self.capacity
+                    util = total_demand
+                steps = self.utilization_steps
+                if abs(util - steps[-1][1]) > 1e-12:
+                    steps.append((self.sim.now, util))
+                    for fn in self._observers:
+                        fn(self.sim.now, util)
+                self._generation += 1
+                if self._frozen:
+                    return
+                sim = self.sim
+                tick = Event(sim, name=self._tick_name)
+                tick.value = self._generation
+                tick.callbacks = [self._tick_cb]
+                sim._seq += 1
+                heapq.heappush(
+                    sim._heap,
+                    (sim.now + task.work_left / task.rate, sim._seq, tick),
+                )
+                return
+        # Complete tasks whose work is (numerically) exhausted.  One pass,
+        # identity-partitioned: each task has its own completion event, so
+        # this is exactly the old two-listcomp membership split.
+        threshold = self._finish_eps
+        active = self._active
+        kept: list[_ActiveTask] = []
+        finished: list[_ActiveTask] = []
+        for task in active:
+            if task.work_left <= threshold:
+                finished.append(task)
+            else:
+                kept.append(task)
         if finished:
-            self._active = [t for t in self._active if t not in finished]
+            self._active = active = kept
             for task in finished:
                 if not task.done.triggered:
                     task.done.succeed()
 
-        total_demand = sum(t.demand for t in self._active)
+        total_demand = 0.0
+        for task in active:
+            total_demand += task.demand
         scale = 1.0 if total_demand <= 1.0 else 1.0 / total_demand
-        for task in self._active:
-            task.rate = 0.0 if self._frozen else task.demand * scale * self.capacity
+        if self._frozen:
+            for task in active:
+                task.rate = 0.0
+        else:
+            capacity = self.capacity
+            for task in active:
+                task.rate = task.demand * scale * capacity
 
-        util = 0.0 if self._frozen else min(total_demand, 1.0)
-        if abs(util - self.utilization_steps[-1][1]) > 1e-12 or not self._active:
+        util = 0.0 if self._frozen else (total_demand if total_demand <= 1.0 else 1.0)
+        if abs(util - self.utilization_steps[-1][1]) > 1e-12 or not active:
             self.utilization_steps.append((self.sim.now, util))
             for fn in self._observers:
                 fn(self.sim.now, util)
 
         self._generation += 1
-        if not self._active or self._frozen:
+        if not active or self._frozen:
             return  # frozen: no completion event until unfreeze
-        soonest = min(t.work_left / t.rate for t in self._active)
-        generation = self._generation
-        tick = self.sim.event(name=f"{self.name}.tick")
-        tick.add_callback(lambda _: self._on_tick(generation))
-        self.sim.schedule(max(soonest, 0.0), tick)
+        soonest = active[0].work_left / active[0].rate
+        for task in active:
+            left = task.work_left / task.rate
+            if left < soonest:
+                soonest = left
+        # The tick carries its generation in ``value`` (the run loop fires
+        # events with ``succeed(event.value)``, so it survives) — this
+        # avoids a fresh closure per reschedule on the hottest path.
+        sim = self.sim
+        tick = Event(sim, name=self._tick_name)
+        tick.value = self._generation
+        tick.callbacks = [self._tick_cb]
+        sim._seq += 1
+        heapq.heappush(
+            sim._heap,
+            (sim.now + (soonest if soonest >= 0.0 else 0.0), sim._seq, tick),
+        )
 
-    def _on_tick(self, generation: int) -> None:
-        if generation != self._generation:
+    def _on_tick_event(self, tick: Event) -> None:
+        if tick.value != self._generation:
             return  # superseded by a later membership change
         self._settle()
         self._reschedule()

@@ -44,7 +44,7 @@ EQ1_COMPONENT: dict[SpanKind, str] = {
 }
 
 
-@dataclass
+@dataclass(slots=True)
 class _Span:
     device: int
     start: float
@@ -133,6 +133,32 @@ class TraceRecorder:
                 out["bub"] += duration
             else:
                 out["sync"] += duration
+        return out
+
+    def time_decomposition_all(self, num_devices: int) -> list[dict[str, float]]:
+        """Per-device Equation-1 totals in one pass over the span list.
+
+        Accumulates each device's components in span order, i.e. the same
+        float additions in the same order as calling
+        :meth:`time_decomposition` per device — the results agree bitwise.
+        """
+        out = [{"gpu": 0.0, "com": 0.0, "bub": 0.0, "sync": 0.0} for _ in range(num_devices)]
+        gpu_kinds = (SpanKind.FWD, SpanKind.BWD)
+        skip_kinds = (SpanKind.FAULT, SpanKind.RECOVERY)
+        for span in self.spans:
+            dev = span.device
+            if dev >= num_devices or span.kind in skip_kinds:
+                continue
+            d = out[dev]
+            duration = span.end - span.start
+            if span.kind in gpu_kinds:
+                d["gpu"] += duration
+            elif span.kind == SpanKind.COMM:
+                d["com"] += duration
+            elif span.kind == SpanKind.BUBBLE:
+                d["bub"] += duration
+            else:
+                d["sync"] += duration
         return out
 
     def fault_spans(self) -> list[_Span]:

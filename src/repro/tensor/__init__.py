@@ -18,15 +18,19 @@ optimizer coupling behave exactly as in a real framework).
 
 from repro.tensor.tensor import Tensor, no_grad, tensor, zeros, ones, full, arange
 from repro.tensor.functional import (
+    assert_preserves_dtype,
     cat,
     cross_entropy,
     dropout,
     embedding_lookup,
     gelu,
     layer_norm,
+    linear,
     log_softmax,
+    lstm_cell,
     nll_loss,
     relu,
+    scaled_dot_attention,
     sigmoid,
     softmax,
     stack,
@@ -57,5 +61,9 @@ __all__ = [
     "embedding_lookup",
     "cross_entropy",
     "nll_loss",
+    "linear",
+    "lstm_cell",
+    "scaled_dot_attention",
+    "assert_preserves_dtype",
     "gradcheck",
 ]

@@ -13,7 +13,7 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.tensor.tensor import Tensor, _unbroadcast
+from repro.tensor.tensor import Tensor, _grad_enabled, _unbroadcast
 
 __all__ = [
     "relu",
@@ -30,6 +30,10 @@ __all__ = [
     "cat",
     "stack",
     "where",
+    "linear",
+    "lstm_cell",
+    "scaled_dot_attention",
+    "assert_preserves_dtype",
 ]
 
 
@@ -39,7 +43,10 @@ def relu(x: Tensor) -> Tensor:
     return Tensor._make(out, (x,), lambda g: (g * (x.data > 0),), "relu")
 
 
-_GELU_C = np.sqrt(2.0 / np.pi)
+# Plain Python float: under NumPy's NEP-50 promotion a np.float64 scalar
+# is "strong" and silently promotes float32 activations to float64, while
+# a Python float is "weak" and preserves the array dtype.
+_GELU_C = float(np.sqrt(2.0 / np.pi))
 
 
 def gelu(x: Tensor) -> Tensor:
@@ -63,13 +70,21 @@ def tanh(x: Tensor) -> Tensor:
     return Tensor._make(out, (x,), lambda g: (g * (1.0 - out * out),), "tanh")
 
 
+def _sigmoid_raw(x: np.ndarray) -> np.ndarray:
+    """Numerically-stable logistic sigmoid on a raw ndarray.
+
+    Branch-free form of the classic sign-split: with e = exp(-|x|) the
+    positive half is 1/(1+e) and the negative half e/(1+e) — elementwise
+    the exact same expressions as the masked version, minus the fancy
+    indexing.
+    """
+    e = np.exp(-np.abs(x))
+    return np.where(x >= 0, 1.0, e) / (1.0 + e)
+
+
 def sigmoid(x: Tensor) -> Tensor:
     """Numerically-stable logistic sigmoid (split by sign)."""
-    out = np.empty_like(x.data)
-    pos = x.data >= 0
-    out[pos] = 1.0 / (1.0 + np.exp(-x.data[pos]))
-    ex = np.exp(x.data[~pos])
-    out[~pos] = ex / (1.0 + ex)
+    out = _sigmoid_raw(x.data)
     return Tensor._make(out, (x,), lambda g: (g * out * (1.0 - out),), "sigmoid")
 
 
@@ -210,6 +225,236 @@ def stack(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
         return tuple(p.squeeze(axis=axis) for p in pieces)
 
     return Tensor._make(out, tuple(tensors), backward, "stack")
+
+
+# --------------------------------------------------------------------- #
+# fused hot-path kernels
+#
+# Each of these replaces a chain of elementary Tensor ops with a single
+# graph node whose forward replays the exact same ndarray expressions the
+# chain would execute (same operands, same evaluation order), so outputs
+# are bitwise identical to the composed form; the hand-written backward
+# mirrors the chain's closure arithmetic the same way.  What they save is
+# node construction, closure dispatch and per-op gradient allocation —
+# the dominant cost of small-model steps in this engine.
+
+
+def _transpose_tap(weight: Tensor) -> Tensor:
+    """A transpose node mirroring the composed chain's ``weight.T``.
+
+    Fused kernels route weight gradients through this node instead of
+    attaching the weight directly.  When a weight feeds several graph
+    sites (the recurrent matrix across timesteps, a projection reused in
+    a decoding loop), the engine sums one contribution per site — and
+    float addition is not associative, so the *order* those contributions
+    arrive in is part of the bitwise contract.  The composed chain's
+    per-call ``.T`` nodes sit at specific DFS positions which fix that
+    order; a tap in the same parent slot reproduces it exactly.
+    """
+    return Tensor._make(
+        weight.data.T, (weight,), lambda g: (np.transpose(g, (1, 0)),), "transpose"
+    )
+
+
+def linear(x: Tensor, weight: Tensor, bias: Tensor | None = None) -> Tensor:
+    """Fused ``x @ weight.T + bias`` (the Linear layer kernel).
+
+    ``x`` must be at least 2-d; ``weight`` is (out, in).  The transposed
+    weight view is captured at call time, which keeps DropConnect-style
+    temporary masking (WeightDrop) working exactly like the composed form.
+    """
+    w_tap = _transpose_tap(weight)
+    wT = w_tap.data
+    y = x.data @ wT
+    out = y + bias.data if bias is not None else y
+
+    def backward(g: np.ndarray):
+        dx = g @ np.swapaxes(wT, -1, -2) if x.requires_grad else None
+        # Untransposed (in, out) form; the tap transposes, as ``.T`` did.
+        dw = (
+            _unbroadcast(np.swapaxes(x.data, -1, -2) @ g, wT.shape)
+            if weight.requires_grad
+            else None
+        )
+        if bias is None:
+            return dx, dw
+        db = _unbroadcast(g, bias.shape) if bias.requires_grad else None
+        return dx, dw, db
+
+    # Parent order mirrors the composed DFS first-visit order
+    # (bias, weight.T, x): parents are explored last-to-first.
+    parents = (x, w_tap) if bias is None else (x, w_tap, bias)
+    return Tensor._make(out, parents, backward, "linear")
+
+
+def lstm_cell(
+    x: Tensor,
+    h: Tensor,
+    c: Tensor,
+    weight_ih: Tensor,
+    weight_hh: Tensor,
+    bias: Tensor,
+    hidden_size: int,
+) -> tuple[Tensor, Tensor]:
+    """Fused LSTM cell: one graph node for the whole gate stack.
+
+    Computes ``gates = x @ W_ih^T + h @ W_hh^T + b`` and the i/f/g/o gate
+    nonlinearities, returning ``(h_next, c_next)``.  ``c_next`` is emitted
+    as a child node of ``h_next`` whose backward stashes the incoming cell
+    gradient; reverse topological order guarantees the stash happens
+    before ``h_next``'s backward consumes it.  Weight transpose views are
+    captured at call time (WeightDrop compatibility, as in the composed
+    form).
+    """
+    hs = hidden_size
+    wih_tap = _transpose_tap(weight_ih)
+    whh_tap = _transpose_tap(weight_hh)
+    wihT = wih_tap.data
+    whhT = whh_tap.data
+    gates = (x.data @ wihT + h.data @ whhT) + bias.data
+    i = _sigmoid_raw(gates[:, 0 * hs : 1 * hs])
+    f = _sigmoid_raw(gates[:, 1 * hs : 2 * hs])
+    g = np.tanh(gates[:, 2 * hs : 3 * hs])
+    o = _sigmoid_raw(gates[:, 3 * hs : 4 * hs])
+    c_next = f * c.data + i * g
+    t = np.tanh(c_next)
+    h_next = o * t
+
+    if not (
+        _grad_enabled()
+        and (
+            x.requires_grad
+            or h.requires_grad
+            or c.requires_grad
+            or weight_ih.requires_grad
+            or weight_hh.requires_grad
+            or bias.requires_grad
+        )
+    ):
+        return Tensor(h_next), Tensor(c_next)
+
+    ctx: dict[str, np.ndarray | None] = {"gc": None}
+
+    def backward_h(gh: np.ndarray):
+        gc_ext = ctx["gc"]
+        ctx["gc"] = None
+        # Mirror the composed chain: h = o * tanh(c'), c' = f*c + i*g.
+        gc = (gh * o) * (1.0 - t * t)
+        if gc_ext is not None:
+            gc = gc_ext + gc
+        dgates = np.empty_like(gates)
+        dgates[:, 0 * hs : 1 * hs] = (gc * g) * i * (1.0 - i)
+        dgates[:, 1 * hs : 2 * hs] = (gc * c.data) * f * (1.0 - f)
+        dgates[:, 2 * hs : 3 * hs] = (gc * i) * (1.0 - g * g)
+        dgates[:, 3 * hs : 4 * hs] = (gh * t) * o * (1.0 - o)
+        dx = dgates @ np.swapaxes(wihT, -1, -2) if x.requires_grad else None
+        dh = dgates @ np.swapaxes(whhT, -1, -2) if h.requires_grad else None
+        dc = gc * f if c.requires_grad else None
+        # Untransposed (in, 4*hidden) forms; the taps transpose them.
+        dwih = (
+            np.swapaxes(x.data, -1, -2) @ dgates
+            if weight_ih.requires_grad
+            else None
+        )
+        dwhh = (
+            np.swapaxes(h.data, -1, -2) @ dgates
+            if weight_hh.requires_grad
+            else None
+        )
+        db = _unbroadcast(dgates, bias.shape) if bias.requires_grad else None
+        return dx, dwih, dh, dc, dwhh, db
+
+    # Parent order matters beyond bookkeeping: the composed chain appends
+    # W_hh.T before descending into the h_{t-1} subgraph (so its grads
+    # accumulate oldest-step-first) but W_ih.T only after it (newest
+    # first).  Placing whh's tap after h/c and wih's tap before them in
+    # the parent tuple reproduces both orders under the engine's
+    # last-to-first DFS.
+    h_t = Tensor._make(
+        h_next, (x, wih_tap, h, c, whh_tap, bias), backward_h, "lstm_cell"
+    )
+
+    def backward_c(g_in: np.ndarray):
+        # Copied because the arena may recycle g_in once this node is done.
+        ctx["gc"] = g_in.copy()
+        # Zero (not None) so a loss reaching only c_next still drives
+        # backward_h, which is where the stashed cell gradient is spent.
+        return (np.zeros_like(h_next),)
+
+    c_t = Tensor._make(c_next, (h_t,), backward_c, "lstm_cell_c")
+    return h_t, c_t
+
+
+def scaled_dot_attention(
+    q: Tensor,
+    k: Tensor,
+    v: Tensor,
+    scale: float,
+    bias: np.ndarray | None = None,
+    dropout_p: float = 0.0,
+    rng: np.random.Generator | None = None,
+    training: bool = False,
+) -> Tensor:
+    """Fused softmax attention over (B, H, T, dh) heads.
+
+    One node for ``softmax(q @ k^T * scale + bias)`` (optionally with
+    inverted dropout on the attention weights) matmul'd against ``v``.
+    ``bias`` is an additive raw-ndarray mask; it receives no gradient.
+    """
+    if not 0.0 <= dropout_p < 1.0:
+        raise ValueError(f"dropout probability must be in [0, 1), got {dropout_p}")
+    kt = k.data.transpose(0, 1, 3, 2)
+    scale_arr = np.asarray(scale, dtype=q.data.dtype)
+    s = (q.data @ kt) * scale_arr
+    if bias is not None:
+        s = s + bias
+    e = np.exp(s - s.max(axis=-1, keepdims=True))
+    attn = e / e.sum(axis=-1, keepdims=True)
+    if training and dropout_p > 0.0:
+        keep = 1.0 - dropout_p
+        mask = (rng.random(attn.shape) < keep).astype(attn.dtype) / keep
+        attn_d = attn * mask
+    else:
+        mask = None
+        attn_d = attn
+    out = attn_d @ v.data
+
+    def backward(g: np.ndarray):
+        dattn = g @ np.swapaxes(v.data, -1, -2)
+        dv = np.swapaxes(attn_d, -1, -2) @ g if v.requires_grad else None
+        if mask is not None:
+            dattn = dattn * mask
+        dot = (dattn * attn).sum(axis=-1, keepdims=True)
+        ds = (attn * (dattn - dot)) * scale_arr
+        dq = ds @ np.swapaxes(kt, -1, -2) if q.requires_grad else None
+        dk = (
+            (np.swapaxes(q.data, -1, -2) @ ds).transpose(0, 1, 3, 2)
+            if k.requires_grad
+            else None
+        )
+        return dq, dk, dv
+
+    return Tensor._make(out, (q, k, v), backward, "sdp_attention")
+
+
+def assert_preserves_dtype(result: Tensor | Sequence[Tensor], *inputs: Tensor) -> None:
+    """Assert every output tensor keeps the dtype of the first input.
+
+    The regression helper for float64-promotion leaks: NumPy scalar rules
+    (NEP 50) can silently upcast float32 through Python/NumPy scalar
+    arithmetic, doubling memory traffic without changing semantics enough
+    for tolerance-based tests to notice.
+    """
+    if not inputs:
+        raise ValueError("assert_preserves_dtype needs at least one input tensor")
+    expect = inputs[0].dtype
+    outs = result if isinstance(result, (tuple, list)) else (result,)
+    for idx, out in enumerate(outs):
+        if out.dtype != expect:
+            raise AssertionError(
+                f"output {idx} has dtype {out.dtype}, expected {expect} "
+                f"(float-promotion leak)"
+            )
 
 
 def where(condition: np.ndarray, a: Tensor, b: Tensor) -> Tensor:

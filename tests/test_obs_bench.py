@@ -25,7 +25,9 @@ from repro.obs.bench import (
     Benchmark,
     bench_catalog,
     compare_payloads,
+    latest_bench_path,
     next_bench_path,
+    render_compare,
     run_benchmark,
     run_suite,
     select_suite,
@@ -94,6 +96,23 @@ def test_next_bench_path_numbering(tmp_path):
     (tmp_path / "BENCH_7.json").write_text("{}")
     (tmp_path / "BENCH_x.json").write_text("{}")  # non-matching: ignored
     assert next_bench_path(tmp_path).name == "BENCH_8.json"
+
+
+def test_next_bench_path_numbers_past_gaps(tmp_path):
+    # A deleted early baseline must not make a *new* run land in the gap
+    # below the newest file: number after the max, not at the first hole.
+    (tmp_path / "BENCH_2.json").write_text("{}")
+    (tmp_path / "BENCH_5.json").write_text("{}")
+    assert next_bench_path(tmp_path).name == "BENCH_6.json"
+
+
+def test_latest_bench_path_picks_highest_n(tmp_path):
+    assert latest_bench_path(tmp_path) is None
+    (tmp_path / "BENCH_1.json").write_text("{}")
+    (tmp_path / "BENCH_3.json").write_text("{}")   # gap at 2: irrelevant
+    (tmp_path / "BENCH_10.json").write_text("{}")  # numeric, not lexicographic
+    (tmp_path / "BENCH_x.json").write_text("{}")   # non-matching: ignored
+    assert latest_bench_path(tmp_path).name == "BENCH_10.json"
 
 
 # --------------------------------------------------------------------- #
@@ -179,6 +198,26 @@ def test_compare_threshold_is_configurable():
         compare_payloads(base, cur, threshold=-1)
 
 
+def test_compare_time_threshold_splits_from_alloc():
+    # 3x slower but identical allocation: a tight shared threshold flags
+    # it, a wide time_threshold tolerates it (cross-machine gate) while
+    # the alloc gate stays at the shared threshold.
+    base = _synthetic_payload(a=(1.0, 1000), b=(1.0, 1000))
+    cur = _synthetic_payload(a=(3.0, 1000),   # 3x slower, same alloc
+                             b=(1.0, 1800))   # same speed, 1.8x alloc
+    assert not compare_payloads(base, cur, threshold=0.5).ok
+    report = compare_payloads(base, cur, threshold=0.5, time_threshold=4.0)
+    verdicts = {r.name: r.regressed for r in report.rows}
+    assert verdicts == {"a": False, "b": True}
+    assert report.time_threshold == 4.0
+    assert "time 400%" in render_compare(report)
+    # explicit time_threshold equal to threshold behaves like the default
+    same = compare_payloads(base, cur, threshold=0.5, time_threshold=0.5)
+    assert same.time_threshold is None
+    with pytest.raises(ValueError):
+        compare_payloads(base, cur, time_threshold=-0.1)
+
+
 # --------------------------------------------------------------------- #
 # CLI: self-compare exits 0, injected 2x slowdown exits 1
 
@@ -212,6 +251,32 @@ def test_cli_injected_slowdown_exits_nonzero(bench_file, tmp_path, capsys):
     code = main(["bench", "--input", str(bench_file), "--compare", str(slow_base),
                  "--report-only"])
     assert code == 0
+
+
+def test_cli_bare_compare_uses_newest_baseline(bench_file, tmp_path, monkeypatch, capsys):
+    """Bare ``--compare`` resolves to the highest-numbered BENCH_<n>.json."""
+    monkeypatch.chdir(tmp_path)
+    payload = json.loads(bench_file.read_text())
+    # Decoy baseline at n=1 whose medians are halved (the current run
+    # would read as a 2x regression against it), real baseline at n=3
+    # with a gap at 2: only the newest file self-compares clean.
+    decoy = copy.deepcopy(payload)
+    for bench in decoy["benchmarks"]:
+        bench["timing"]["median_s"] /= 2.0
+    (tmp_path / "BENCH_1.json").write_text(json.dumps(decoy))
+    (tmp_path / "BENCH_3.json").write_text(json.dumps(payload))
+    code = main(["bench", "--input", str(bench_file), "--compare"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "BENCH_3.json" in out
+    assert "no regressions" in out
+
+
+def test_cli_bare_compare_without_baseline_exits_two(tmp_path, monkeypatch, capsys):
+    monkeypatch.chdir(tmp_path)
+    code = main(["bench", "--input", "unused.json", "--compare"])
+    assert code == 2
+    assert "no BENCH_<n>.json baseline" in capsys.readouterr().out
 
 
 def test_cli_runs_and_writes(tmp_path, capsys):

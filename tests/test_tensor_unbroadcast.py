@@ -1,0 +1,81 @@
+"""`_unbroadcast` edge cases.
+
+The gradient engine relies on `_unbroadcast(grad, shape)` being the exact
+inverse of NumPy broadcasting for every legal broadcast — including the
+shapes ordinary training never produces (zero-size dimensions, scalar
+targets, grads with extra leading dims *and* interior 1-dims at once).
+"""
+
+import numpy as np
+
+from repro.tensor.tensor import _unbroadcast
+
+
+def _check(grad_shape, target_shape):
+    """_unbroadcast must equal summing the broadcast axes explicitly."""
+    rng = np.random.default_rng(hash((grad_shape, target_shape)) % 2**32)
+    grad = rng.standard_normal(grad_shape).astype(np.float32)
+    out = _unbroadcast(grad, target_shape)
+    assert out.shape == target_shape
+    # Reference: sum grad down by explicit axis arithmetic in float64.
+    g = grad.astype(np.float64)
+    extra = g.ndim - len(target_shape)
+    if extra > 0:
+        g = g.sum(axis=tuple(range(extra)))
+    for i, s in enumerate(target_shape):
+        if s == 1 and g.shape[i] != 1:
+            g = g.sum(axis=i, keepdims=True)
+    expect = g.reshape(target_shape)
+    np.testing.assert_allclose(out, expect, rtol=2e-5, atol=1e-6)
+    return out
+
+
+def test_identity_shape_is_passthrough():
+    grad = np.ones((3, 4), dtype=np.float32)
+    assert _unbroadcast(grad, (3, 4)) is grad
+
+
+def test_leading_broadcast_dims_are_summed():
+    _check((6, 3, 4), (3, 4))
+    _check((2, 5, 3, 4), (3, 4))
+
+
+def test_interior_one_dims_are_summed_with_keepdims():
+    _check((3, 4, 5), (3, 1, 5))
+    _check((3, 4, 5), (1, 4, 1))
+
+
+def test_ndim_mismatch_with_interior_one_dims():
+    # Both reductions at once: drop the leading axes AND collapse the
+    # interior 1-dims of the target.
+    _check((2, 3, 4, 5), (3, 1, 5))
+    _check((7, 2, 1, 6), (2, 1, 1))
+
+
+def test_scalar_grad_targets():
+    _check((), ())
+    _check((3,), ())
+    _check((2, 3), ())
+    out = _unbroadcast(np.float32(2.5) * np.ones((4,), dtype=np.float32), ())
+    assert out.shape == () and out == np.float32(10.0)
+
+
+def test_zero_size_dimensions():
+    # Summing over a zero-length broadcast axis yields exact zeros...
+    out = _check((0, 4), (4,))
+    np.testing.assert_array_equal(out, np.zeros(4))
+    # ...and zero-size targets survive the keepdims path untouched.
+    _check((3, 0), (1, 0))
+    _check((5, 0, 2), (0, 2))
+    out = _unbroadcast(np.empty((2, 0), dtype=np.float32), (2, 0))
+    assert out.shape == (2, 0)
+
+
+def test_one_dim_grad_against_one_dim_target():
+    # grad dim already 1 where the target is 1: no summing, only reshape.
+    grad = np.ones((1, 5), dtype=np.float32)
+    out = _unbroadcast(grad, (1, 5))
+    assert out is grad
+    out = _unbroadcast(np.ones((3, 1, 5), dtype=np.float32), (1, 5))
+    assert out.shape == (1, 5)
+    np.testing.assert_array_equal(out, np.full((1, 5), 3.0))
