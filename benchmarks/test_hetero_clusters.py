@@ -1,0 +1,51 @@
+"""Heterogeneous clusters: uniform vs balanced vs balanced+placement.
+
+Fig 11/13 analogue with heterogeneity as the independent variable: for
+each canned variant of the GNMT testbed, how much simulated batch time
+does heterogeneity-aware planning recover over the seed's uniform
+partitioner?
+
+Shape asserted: on *every* variant both the balanced partition and the
+joint partition+placement search beat the uniform plan, and on
+``asym-links`` — where partitioning alone cannot fix a congested wire —
+the placement pass wins by a clear extra margin.
+"""
+
+from repro.experiments import run_hetero
+from repro.sim import hetero_variant_names
+from repro.utils import format_table
+
+from .conftest import run_once
+
+
+def render_hetero(data) -> str:
+    table = format_table(
+        ["workload", "variant", "strategy", "boundaries", "placement", "batch time (ms)", "speedup"],
+        [
+            [
+                r.workload,
+                r.variant,
+                r.strategy,
+                str(r.boundaries),
+                str(r.placement),
+                "OOM" if r.oom else r.batch_time * 1e3,
+                r.speedup_vs_uniform,
+            ]
+            for r in data["rows"]
+        ],
+        title="Heterogeneous clusters — planning strategies on GNMT",
+    )
+    return table
+
+
+def test_hetero_clusters(benchmark, emit):
+    data = run_once(benchmark, run_hetero)
+    emit("hetero_clusters", render_hetero(data))
+
+    for variant in hetero_variant_names():
+        assert data["speedup"][("gnmt", variant, "balanced")] > 1.0, variant
+        assert data["speedup"][("gnmt", variant, "balanced+placement")] > 1.0, variant
+    assert (
+        data["speedup"][("gnmt", "asym-links", "balanced+placement")]
+        > data["speedup"][("gnmt", "asym-links", "balanced")] * 1.2
+    )

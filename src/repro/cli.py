@@ -31,6 +31,8 @@ def _cmd_plan(args: argparse.Namespace) -> int:
     from repro.core import AvgPipe
     from repro.utils import format_table
 
+    if getattr(args, "hetero", None):
+        return _cmd_plan_hetero(args)
     system = AvgPipe(args.workload)
     plan = system.plan(
         memory_limit_bytes=args.memory_mib * MIB if args.memory_mib else None,
@@ -51,6 +53,64 @@ def _cmd_plan(args: argparse.Namespace) -> int:
     if args.timeline:
         print()
         print(result.timeline)
+    return 0
+
+
+def _cmd_plan_hetero(args: argparse.Namespace) -> int:
+    """Plan against a canned heterogeneous cluster variant.
+
+    Runs the joint balanced-partition/placement search, then the paper's
+    profiling tuner on the heterogeneous spec with per-device memory
+    budgets, and reports the full plan.
+    """
+    from repro.core.profiler import Profiler
+    from repro.core.simcfg import calibration_for
+    from repro.core.tuner import ProfilingTuner
+    from repro.schedules import AdvanceFPSchedule
+    from repro.utils import format_table
+
+    cal = calibration_for(args.workload)
+    cspec = cal.cluster_spec(args.hetero)
+    costs = cal.layer_costs()
+    partition, placement = cal.hetero_plan(args.hetero, costs)
+    profiler = Profiler(
+        layer_costs=costs,
+        partition=partition,
+        schedule=AdvanceFPSchedule(2),
+        cluster_spec=cspec,
+        batch_size=cal.batch_size,
+        activation_byte_scale=cal.activation_byte_scale,
+        param_byte_scale=cal.param_byte_scale,
+        stash_multiplier=cal.stash_multiplier,
+        optimizer_state_factor=cal.optimizer_state_factor,
+        with_reference_model=True,
+        placement=placement,
+    )
+    budget = args.memory_mib * MIB if args.memory_mib else None
+    limits = (
+        [min(budget, cap) for cap in cspec.memory_vector()]
+        if budget
+        else list(cspec.memory_vector())
+    )
+    tuner = ProfilingTuner(profiler, limits)
+    outcome = tuner.tune(n_candidates=list(range(1, args.max_pipelines + 1)))
+    rows = [
+        ["hetero variant", args.hetero],
+        ["device speeds", str(cspec.speed_vector())],
+        ["partition", str(partition.boundaries)],
+        ["placement (stage -> device)", str(placement)],
+        ["micro-batches (M)", outcome.m],
+        ["parallel pipelines (N)", outcome.n],
+        ["tuning cost (sim s)", round(outcome.tuning_cost, 3)],
+        ["time per batch (ms)", round(outcome.measured_batch_time * 1e3, 2)],
+    ]
+    print(
+        format_table(
+            ["metric", "value"],
+            rows,
+            title=f"AvgPipe hetero plan — {args.workload} on {args.hetero}",
+        )
+    )
     return 0
 
 
@@ -120,6 +180,7 @@ def _cmd_figure(args: argparse.Namespace) -> int:
         "fig17": exp.run_fig17,
         "fig18": exp.run_fig18,
         "fig19": exp.run_fig19,
+        "hetero": exp.run_hetero,
     }
     if args.name not in registry:
         print(f"unknown figure {args.name!r}; available: {', '.join(sorted(registry))}")
@@ -138,7 +199,7 @@ def _print_figure(name: str, data) -> None:
     rows = data.get("rows") if isinstance(data, dict) else None
     if rows and is_dataclass(rows[0]):
         dicts = [asdict(r) for r in rows]
-        headers = [k for k in dicts[0] if not isinstance(dicts[0][k], (tuple, list, str)) or k in ("workload", "system", "schedule", "method", "note")]
+        headers = [k for k in dicts[0] if not isinstance(dicts[0][k], (tuple, list, str)) or k in ("workload", "system", "schedule", "method", "note", "variant", "strategy", "boundaries", "placement")]
         table = [[d.get(h, "") for h in headers] for d in dicts]
         print(format_table(headers, table, title=name))
     else:
@@ -459,6 +520,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--max-pipelines", type=int, default=4)
     p.add_argument("--iterations", type=int, default=3)
     p.add_argument("--timeline", action="store_true", help="render the ASCII timeline")
+    p.add_argument("--hetero", default=None, metavar="VARIANT",
+                   choices=["mixed-gen", "straggler-node", "asym-links"],
+                   help="plan against a canned heterogeneous cluster variant "
+                        "(balanced partition + placement search)")
     p.set_defaults(fn=_cmd_plan)
 
     p = sub.add_parser("baselines", help="simulate the paper's five baselines")
@@ -476,7 +541,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(fn=_cmd_train)
 
     p = sub.add_parser("figure", help="regenerate one paper figure")
-    p.add_argument("name", help="fig02, fig07, fig11..fig19")
+    p.add_argument("name", help="fig02, fig07, fig11..fig19, hetero")
     p.set_defaults(fn=_cmd_figure)
 
     p = sub.add_parser("timeline", help="render a schedule timeline")

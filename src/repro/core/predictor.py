@@ -17,10 +17,30 @@ tests and in the Figure-19 benchmark.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
 
 from repro.core.profiler import Profile
 
-__all__ = ["Prediction", "Predictor"]
+__all__ = ["Prediction", "Predictor", "fits_memory"]
+
+
+def fits_memory(
+    footprints: Sequence[float], limit: float | Sequence[float]
+) -> bool:
+    """Whether per-stage footprints fit a scalar or per-stage budget.
+
+    A scalar limit is the uniform-cluster case (every device has the
+    same capacity); a sequence gives stage k's hosting device capacity —
+    under a placement permutation the caller reorders device capacities
+    into stage order first.
+    """
+    if isinstance(limit, (int, float)):
+        return max(footprints) <= limit
+    if len(limit) != len(footprints):
+        raise ValueError(
+            f"{len(limit)} memory limits for {len(footprints)} stages"
+        )
+    return all(f <= cap for f, cap in zip(footprints, limit))
 
 
 @dataclass(frozen=True)
@@ -129,23 +149,31 @@ class Predictor:
         self,
         m_candidates: list[int],
         n_candidates: list[int],
-        memory_limit_bytes: float,
+        memory_limit_bytes: float | Sequence[float],
     ) -> tuple[Prediction, list[Prediction]]:
         """Evaluate the grid; return (winner, all predictions).
 
         The winner minimizes predicted per-batch time (Equation 2 already
         amortizes an iteration over its n* concurrent batches), subject
-        to every device fitting in memory.
+        to every device fitting in memory.  ``memory_limit_bytes`` may be
+        a per-stage sequence on a heterogeneous cluster (stage k's entry
+        is its hosting device's capacity).
         """
         if not m_candidates or not n_candidates:
             raise ValueError("empty candidate lists")
         predictions = [
             self.predict(m, n) for m in m_candidates for n in n_candidates
         ]
-        feasible = [p for p in predictions if p.peak_memory <= memory_limit_bytes]
+        feasible = [
+            p for p in predictions if fits_memory(p.f_total, memory_limit_bytes)
+        ]
         if not feasible:
-            raise RuntimeError(
-                f"no (M, N) setting fits in {memory_limit_bytes / 2**20:.0f} MiB"
-            )
+            if isinstance(memory_limit_bytes, (int, float)):
+                budget = f"{memory_limit_bytes / 2**20:.0f} MiB"
+            else:
+                budget = "per-stage budgets " + "/".join(
+                    f"{b / 2**20:.0f}" for b in memory_limit_bytes
+                ) + " MiB"
+            raise RuntimeError(f"no (M, N) setting fits in {budget}")
         winner = min(feasible, key=lambda p: p.batch_time)
         return winner, predictions

@@ -15,6 +15,7 @@ curve) — and collects, per device k:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
 
 import numpy as np
 
@@ -81,6 +82,7 @@ class Profiler:
         optimizer_state_factor: float = 2.0,
         with_reference_model: bool = True,
         activation_recompute: bool = False,
+        placement: Sequence[int] | None = None,
     ) -> None:
         self.layer_costs = layer_costs
         self.partition = partition
@@ -93,6 +95,27 @@ class Profiler:
         self.optimizer_state_factor = optimizer_state_factor
         self.with_reference_model = with_reference_model
         self.activation_recompute = activation_recompute
+        #: stage -> device permutation (Luo et al. placement); None keeps
+        #: the straight chain (stage k on device k) and the exact legacy
+        #: code path, so uniform runs stay bit-identical.
+        if placement is not None:
+            placement = tuple(placement)
+            if len(placement) != partition.num_stages:
+                raise ValueError(
+                    f"placement has {len(placement)} entries for "
+                    f"{partition.num_stages} stages"
+                )
+            if sorted(placement) != list(range(partition.num_stages)):
+                raise ValueError(f"placement must be a permutation: {placement}")
+        self.placement = placement
+
+    def _device_map(self, num_pipelines: int) -> list[list[int]] | None:
+        if self.placement is None:
+            return None
+        return [list(self.placement) for _ in range(num_pipelines)]
+
+    def _stage_device(self, stage: int) -> int:
+        return stage if self.placement is None else self.placement[stage]
 
     def run_setting(
         self,
@@ -130,6 +153,7 @@ class Profiler:
             with_reference_model=self.with_reference_model,
             optimizer_state_factor=self.optimizer_state_factor,
             record_utilization=record_utilization,
+            device_map=self._device_map(n),
             activation_recompute=self.activation_recompute,
             registry=registry,
         )
@@ -162,15 +186,20 @@ class Profiler:
             with_reference_model=self.with_reference_model,
             optimizer_state_factor=self.optimizer_state_factor,
             record_utilization=False,
+            device_map=self._device_map(n),
             activation_recompute=self.activation_recompute,
         )
         result = runner.run(iterations=iterations)
         if result.oom is not None:
             raise result.oom
         K = result.num_stages
+        # The Profile's lists are *stage-ordered* (the predictor's Eq. 5-7
+        # walk neighbouring stages); under a placement permutation stage
+        # k's per-device quantities live on device placement[k].
+        devices = [self._stage_device(k) for k in range(K)]
         phi_times, phi_values = [], []
-        for k in range(K):
-            steps = cluster.devices[k].compute.utilization_steps
+        for dev in devices:
+            steps = cluster.devices[dev].compute.utilization_steps
             phi_times.append(np.array([t for t, _ in steps]) / iterations)
             phi_values.append(np.array([u for _, u in steps]))
         return Profile(
@@ -179,13 +208,13 @@ class Profiler:
             batch_size=self.batch_size,
             curve=self.cluster_spec.curve,
             num_stages=K,
-            t_gpu=[d["gpu"] for d in result.decomposition],
+            t_gpu=[result.decomposition[dev]["gpu"] for dev in devices],
             t_comm_total=list(result.comm_sent_time),
             phi_times=phi_times,
             phi_values=phi_values,
-            f_mod=list(result.weight_memory),
-            f_ref=list(result.reference_memory),
-            f_dat=list(result.data_memory_peak),
+            f_mod=[result.weight_memory[dev] for dev in devices],
+            f_ref=[result.reference_memory[dev] for dev in devices],
+            f_dat=[result.data_memory_peak[dev] for dev in devices],
             batch_time=result.batch_time,
             profiling_cost=result.total_time,
         )

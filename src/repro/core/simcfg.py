@@ -24,10 +24,11 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 
 from repro.graph.cost_model import LayerCost, model_costs
-from repro.graph.partitioner import Partition, partition_model
+from repro.graph.partitioner import Partition, partition_model, search_partition_placement
 from repro.models.registry import WorkloadSpec, build_workload
 from repro.sim.cluster import ClusterSpec
 from repro.sim.device import UtilizationCurve
+from repro.sim.hetero import hetero_variant
 
 __all__ = ["SimCalibration", "SIM_CALIBRATIONS", "calibration_for"]
 
@@ -55,10 +56,13 @@ class SimCalibration:
     #: because bucket sizes and overlap differ with model shape.
     allreduce_inefficiency: float = 3.5
 
-    def cluster_spec(self) -> ClusterSpec:
+    def cluster_spec(self, variant: str | None = None) -> ClusterSpec:
+        """The workload's cluster; ``variant`` applies one of the canned
+        heterogeneous shapes from :mod:`repro.sim.hetero` on top of it.
+        ``None`` returns exactly the uniform spec as before."""
         if self.num_devices % 2 != 0:
             raise ValueError("paper clusters have 2 GPUs per node")
-        return ClusterSpec(
+        base = ClusterSpec(
             nodes=self.num_devices // 2,
             gpus_per_node=2,
             memory_bytes=self.memory_capacity_bytes,
@@ -68,6 +72,9 @@ class SimCalibration:
                 b_half=self.curve_b_half,
             ),
         )
+        if variant is None:
+            return base
+        return hetero_variant(variant, base)
 
     def layer_costs(self, spec: WorkloadSpec | None = None) -> list[LayerCost]:
         spec = spec or build_workload(self.workload)
@@ -83,6 +90,40 @@ class SimCalibration:
             flops_per_sec=cspec.peak_flops,
             comm_weight=0.2,
         )
+
+    def hetero_plan(
+        self,
+        variant: str,
+        costs: list[LayerCost] | None = None,
+        with_memory_caps: bool = False,
+    ) -> tuple[Partition, tuple[int, ...]]:
+        """Balanced partition + placement for a canned hetero variant.
+
+        Uses the same calibration constants as :meth:`partition` (byte
+        re-inflation, comm_weight 0.2) but against the variant's
+        per-device speeds and link matrix.  ``with_memory_caps`` adds the
+        variant's per-device capacities as DP feasibility caps, charging
+        each layer 3x its (re-inflated) parameter bytes.
+        """
+        costs = costs or self.layer_costs()
+        cspec = self.cluster_spec(variant)
+        matrix = [
+            [bw / self.activation_byte_scale for bw in row]
+            for row in cspec.bandwidth_matrix()
+        ]
+        part, perm, _ = search_partition_placement(
+            costs,
+            self.num_devices,
+            device_speeds=cspec.speed_vector(),
+            bandwidth_matrix=matrix,
+            memory_caps=cspec.memory_vector() if with_memory_caps else None,
+            flops_per_sec=cspec.peak_flops,
+            comm_weight=0.2,
+            layer_memory_bytes=[
+                3.0 * c.param_bytes * self.param_byte_scale for c in costs
+            ],
+        )
+        return part, perm
 
 
 SIM_CALIBRATIONS: dict[str, SimCalibration] = {

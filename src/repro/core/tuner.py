@@ -16,11 +16,25 @@ quantity Figure 19 compares.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Sequence
 
-from repro.core.predictor import Prediction, Predictor
+from repro.core.predictor import Prediction, Predictor, fits_memory
 from repro.core.profiler import Profile, Profiler
+from repro.graph.cost_model import LayerCost
+from repro.graph.partitioner import (
+    Partition,
+    partition_model,
+    search_partition_placement,
+)
+from repro.sim.cluster import ClusterSpec
 
-__all__ = ["TuningOutcome", "ProfilingTuner", "TraversalTuner", "GuidelineTuner"]
+__all__ = [
+    "TuningOutcome",
+    "ProfilingTuner",
+    "TraversalTuner",
+    "GuidelineTuner",
+    "plan_for_spec",
+]
 
 
 @dataclass
@@ -32,6 +46,83 @@ class TuningOutcome:
     tuning_cost: float  # simulated seconds spent measuring
     measured_batch_time: float  # at the chosen setting
     details: list = field(default_factory=list)
+    #: the stage cut the tuner ran against (heterogeneous planning
+    #: attaches the balanced partition; None = caller's default)
+    partition: tuple[int, ...] | None = None
+    #: stage -> device permutation; None = straight chain
+    placement: tuple[int, ...] | None = None
+
+
+def plan_for_spec(
+    layer_costs: Sequence[LayerCost],
+    cluster_spec: ClusterSpec,
+    *,
+    num_stages: int | None = None,
+    activation_byte_scale: float = 1.0,
+    param_byte_scale: float = 1.0,
+    comm_weight: float = 0.5,
+    memory_caps: Sequence[float] | None = None,
+) -> tuple[Partition, tuple[int, ...]]:
+    """Partition + placement for a (possibly heterogeneous) cluster spec.
+
+    On a uniform spec this is exactly the legacy planner —
+    :func:`partition_model` against the inter-node bandwidth, straight-
+    chain placement — bit for bit.  On a heterogeneous spec it runs the
+    joint balanced-partition/placement search against the spec's
+    per-device speeds, link matrix and (optional) per-device memory caps.
+    """
+    k = num_stages if num_stages is not None else cluster_spec.num_devices
+    if cluster_spec.is_uniform:
+        part = partition_model(
+            layer_costs,
+            k,
+            bandwidth_bytes_per_sec=cluster_spec.inter_node_bandwidth
+            / activation_byte_scale,
+            flops_per_sec=cluster_spec.peak_flops,
+            comm_weight=comm_weight,
+        )
+        return part, tuple(range(k))
+    matrix = [
+        [bw / activation_byte_scale for bw in row]
+        for row in cluster_spec.bandwidth_matrix()
+    ]
+    part, perm, _ = search_partition_placement(
+        layer_costs,
+        k,
+        device_speeds=cluster_spec.speed_vector(),
+        bandwidth_matrix=matrix,
+        memory_caps=memory_caps,
+        flops_per_sec=cluster_spec.peak_flops,
+        comm_weight=comm_weight,
+        layer_memory_bytes=[
+            3.0 * c.param_bytes * param_byte_scale for c in layer_costs
+        ],
+    )
+    return part, perm
+
+
+def _stage_memory_limits(
+    profiler: Profiler, memory_limit: float | Sequence[float]
+) -> float | Sequence[float]:
+    """Reorder a per-*device* budget into per-*stage* order.
+
+    The Predictor's footprints are stage-indexed; under a placement
+    permutation stage k lives on device placement[k].  Scalars pass
+    through untouched (the uniform case).
+    """
+    if isinstance(memory_limit, (int, float)):
+        return memory_limit
+    placement = profiler.placement or range(profiler.partition.num_stages)
+    return [memory_limit[d] for d in placement]
+
+
+def _fits_devices(
+    peaks: Sequence[float], memory_limit: float | Sequence[float]
+) -> bool:
+    """Whether measured per-device peaks fit a scalar or per-device budget."""
+    if isinstance(memory_limit, (int, float)):
+        return max(peaks) <= memory_limit
+    return all(p <= cap for p, cap in zip(peaks, memory_limit))
 
 
 def default_m_candidates(batch_size: int) -> list[int]:
@@ -54,8 +145,15 @@ def _measure(profiler: Profiler, m: int, n: int, iterations: int = 3) -> tuple[f
 
 
 class ProfilingTuner:
-    """The paper's method: one profile + Equations 2-8 over the grid."""
-    def __init__(self, profiler: Profiler, memory_limit_bytes: float) -> None:
+    """The paper's method: one profile + Equations 2-8 over the grid.
+
+    ``memory_limit_bytes`` may be a per-*device* sequence on a
+    heterogeneous cluster; it is reordered into stage order through the
+    profiler's placement before the feasibility check.
+    """
+    def __init__(
+        self, profiler: Profiler, memory_limit_bytes: float | Sequence[float]
+    ) -> None:
         self.profiler = profiler
         self.memory_limit = memory_limit_bytes
 
@@ -71,7 +169,9 @@ class ProfilingTuner:
         profile: Profile = self.profiler.profile(iterations=profile_iterations)
         predictor = Predictor(profile)
         winner, predictions = predictor.best_setting(
-            m_candidates, n_candidates, self.memory_limit
+            m_candidates,
+            n_candidates,
+            _stage_memory_limits(self.profiler, self.memory_limit),
         )
         measured, _ = _measure(self.profiler, winner.m, winner.n)
         return TuningOutcome(
@@ -81,13 +181,18 @@ class ProfilingTuner:
             tuning_cost=profile.profiling_cost,
             measured_batch_time=measured,
             details=predictions,
+            partition=self.profiler.partition.boundaries,
+            placement=self.profiler.placement,
         )
 
 
 class TraversalTuner:
     """Ground truth: simulate every setting and keep the fastest feasible."""
     def __init__(
-        self, profiler: Profiler, memory_limit_bytes: float, iterations_per_setting: int = 3
+        self,
+        profiler: Profiler,
+        memory_limit_bytes: float | Sequence[float],
+        iterations_per_setting: int = 3,
     ) -> None:
         self.profiler = profiler
         self.memory_limit = memory_limit_bytes
@@ -111,12 +216,11 @@ class TraversalTuner:
                     rows.append((m, n, float("inf")))
                     continue
                 cost += result.total_time
-                peak = max(result.peak_memory)
                 # Compare throughput per *batch*: an iteration advances n
                 # batches concurrently.
                 per_batch = result.batch_time / n
                 rows.append((m, n, per_batch))
-                if peak > self.memory_limit:
+                if not _fits_devices(result.peak_memory, self.memory_limit):
                     continue
                 if best is None or per_batch < best[0]:
                     best = (per_batch, m, n, result.batch_time)
@@ -135,7 +239,9 @@ class TraversalTuner:
 class GuidelineTuner:
     """The §5.1 naive guidelines."""
 
-    def __init__(self, profiler: Profiler, memory_limit_bytes: float) -> None:
+    def __init__(
+        self, profiler: Profiler, memory_limit_bytes: float | Sequence[float]
+    ) -> None:
         self.profiler = profiler
         self.memory_limit = memory_limit_bytes
 
@@ -146,7 +252,7 @@ class GuidelineTuner:
             result = self.profiler.run_setting(m, n, iterations=1)
             if result.oom is not None:
                 break
-            if max(result.peak_memory) <= self.memory_limit:
+            if _fits_devices(result.peak_memory, self.memory_limit):
                 best = n
             else:
                 break

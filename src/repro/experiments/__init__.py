@@ -23,6 +23,7 @@ from repro.experiments.fig16_util_curves import run_fig16
 from repro.experiments.fig17_schedules import run_fig17
 from repro.experiments.fig18_19_tuning import run_fig18, run_fig19
 from repro.experiments.fig02_07_timelines import run_fig02, run_fig07
+from repro.experiments.hetero_clusters import run_hetero
 
 __all__ = [
     "BaselineRun",
@@ -41,4 +42,5 @@ __all__ = [
     "run_fig19",
     "run_fig02",
     "run_fig07",
+    "run_hetero",
 ]

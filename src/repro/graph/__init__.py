@@ -8,7 +8,17 @@ bottleneck (max per-stage) time including activation communication.
 """
 
 from repro.graph.cost_model import LayerCost, model_costs, profile_layer_costs
-from repro.graph.partitioner import Partition, partition_model, partition_uniform, stage_spans
+from repro.graph.partitioner import (
+    Partition,
+    balanced_bottleneck,
+    partition_balanced,
+    partition_model,
+    partition_uniform,
+    search_partition_placement,
+    search_placement,
+    stage_memory_bytes,
+    stage_spans,
+)
 
 __all__ = [
     "LayerCost",
@@ -16,6 +26,11 @@ __all__ = [
     "profile_layer_costs",
     "Partition",
     "partition_model",
+    "partition_balanced",
     "partition_uniform",
     "stage_spans",
+    "balanced_bottleneck",
+    "stage_memory_bytes",
+    "search_placement",
+    "search_partition_placement",
 ]

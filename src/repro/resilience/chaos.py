@@ -668,9 +668,11 @@ def _retune_phase(scenario: ChaosScenario, seed: int, recovery: bool,
                         n_candidates=[1, 2, 3])
     details = retune.apply(None, stragglers[0])
     report.numerics["retune"] = details
+    action = "re-partitioned" if details.get("repartitioned") else "plan kept"
     report.timeline.append(
         f"retune for {details['slowdown']:.1f}x straggler: "
-        f"M={details['m']}, N={details['n']}"
+        f"M={details['m']}, N={details['n']}, {action} "
+        f"(cut={details['boundaries']}, placement={details['placement']})"
     )
 
 

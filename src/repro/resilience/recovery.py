@@ -129,13 +129,20 @@ class RestartFromCheckpoint(RecoveryPolicy):
 
 
 class RetunePlan(RecoveryPolicy):
-    """Re-pick (M, N) for a cluster degraded by an observed straggler.
+    """Re-plan for a cluster degraded by an observed straggler.
 
     Holds everything needed to rebuild the profiling tuner; on a
-    straggler report it divides ``peak_flops`` by the observed slowdown
-    (``report.severity``) and re-runs the paper's tuning procedure.  The
+    straggler report it marks the *straggling device* as slow in a
+    heterogeneous :class:`~repro.sim.cluster.ClusterSpec`
+    (``device_speed[target] = 1/severity``), re-runs the balanced
+    partition + placement search (:func:`~repro.core.tuner.plan_for_spec`)
+    so work shifts off the slow device, and re-picks (M, N) with the
+    paper's tuning procedure against the re-partitioned pipeline.  The
     outcome is returned, not applied — re-partitioning a live run is the
     orchestrator's call.
+
+    When the report names no valid device (target out of range), the
+    whole cluster degrades uniformly — the pre-heterogeneity behavior.
     """
 
     name = "retune"
@@ -155,12 +162,36 @@ class RetunePlan(RecoveryPolicy):
         self.last_outcome: TuningOutcome | None = None
 
     def apply(self, trainer, report: FailureReport) -> dict:
-        degraded_spec = dataclasses.replace(
-            self.profiler.cluster_spec,
-            peak_flops=self.profiler.cluster_spec.peak_flops / max(report.severity, 1.0),
+        from repro.core.tuner import plan_for_spec
+
+        spec = self.profiler.cluster_spec
+        slowdown = max(report.severity, 1.0)
+        if 0 <= report.target < spec.num_devices:
+            speeds = list(spec.speed_vector())
+            speeds[report.target] = speeds[report.target] / slowdown
+            degraded_spec = dataclasses.replace(spec, device_speed=tuple(speeds))
+        else:
+            # no device to blame: degrade everything (legacy behavior)
+            degraded_spec = dataclasses.replace(
+                spec, peak_flops=spec.peak_flops / slowdown
+            )
+        partition, placement = plan_for_spec(
+            self.profiler.layer_costs,
+            degraded_spec,
+            num_stages=self.profiler.partition.num_stages,
+            activation_byte_scale=self.profiler.activation_byte_scale,
+            param_byte_scale=self.profiler.param_byte_scale,
+        )
+        repartitioned = (
+            partition.boundaries != self.profiler.partition.boundaries
+            or placement != tuple(range(partition.num_stages))
         )
         degraded_profiler = copy.copy(self.profiler)
         degraded_profiler.cluster_spec = degraded_spec
+        degraded_profiler.partition = partition
+        degraded_profiler.placement = (
+            placement if placement != tuple(range(partition.num_stages)) else None
+        )
         tuner = ProfilingTuner(degraded_profiler, self.memory_limit_bytes)
         outcome = tuner.tune(self.m_candidates, self.n_candidates)
         self.last_outcome = outcome
@@ -169,6 +200,9 @@ class RetunePlan(RecoveryPolicy):
             "m": outcome.m,
             "n": outcome.n,
             "measured_batch_time": outcome.measured_batch_time,
+            "boundaries": partition.boundaries,
+            "placement": placement,
+            "repartitioned": repartitioned,
         }
 
 

@@ -27,6 +27,7 @@ from repro.sim.memory import MemoryLedger, OutOfMemoryError
 from repro.sim.device import Device, UtilizationCurve
 from repro.sim.link import Link
 from repro.sim.cluster import Cluster, ClusterSpec, make_cluster
+from repro.sim.hetero import HETERO_VARIANTS, hetero_variant, hetero_variant_names
 from repro.sim.trace import SpanKind, TraceRecorder
 
 __all__ = [
@@ -43,6 +44,9 @@ __all__ = [
     "Cluster",
     "ClusterSpec",
     "make_cluster",
+    "HETERO_VARIANTS",
+    "hetero_variant",
+    "hetero_variant_names",
     "SpanKind",
     "TraceRecorder",
 ]

@@ -3,7 +3,25 @@
 :func:`make_cluster` builds the paper's testbed shape — ``nodes`` machines
 with ``gpus_per_node`` devices each, fast intra-node links and a slow
 shared-Ethernet path between nodes.  Device indices are global and
-pipeline stage k maps to device k (the paper's straight-chain placement).
+pipeline stage k maps to device k (the paper's straight-chain placement)
+unless a placement permutation says otherwise.
+
+A :class:`ClusterSpec` is *uniform* by default (every device identical,
+every same-class link identical) — the paper's testbed.  Three optional
+fields make it heterogeneous:
+
+* ``device_speed`` — per-device multiplier on ``peak_flops`` (0.5 = a
+  previous-generation part at half throughput);
+* ``device_memory_bytes`` — absolute per-device memory capacities,
+  overriding the shared ``memory_bytes``;
+* ``link_overrides`` — ``(src, dst, bandwidth, latency)`` rows replacing
+  the class-derived parameters of specific directed links (a congested
+  or mis-cabled path).
+
+Uniform specs take exactly the code paths they always did — no
+multiplication by 1.0, no override lookup on a hit-less dict — so every
+golden, oracle and benchmark built on uniform clusters is bit-for-bit
+unchanged.  Canned heterogeneous shapes live in :mod:`repro.sim.hetero`.
 """
 
 from __future__ import annotations
@@ -40,10 +58,106 @@ class ClusterSpec:
     intra_node_latency: float = 5e-6
     inter_node_latency: float = 1e-4
     curve: UtilizationCurve = field(default_factory=UtilizationCurve)
+    #: per-device speed multipliers (len == num_devices); None = uniform
+    device_speed: tuple[float, ...] | None = None
+    #: absolute per-device memory capacities; None = memory_bytes everywhere
+    device_memory_bytes: tuple[int, ...] | None = None
+    #: (src, dst, bandwidth_bytes_per_sec, latency_sec) rows replacing the
+    #: class-derived parameters of specific *directed* links
+    link_overrides: tuple[tuple[int, int, float, float], ...] = ()
+
+    def __post_init__(self) -> None:
+        d = self.num_devices
+        if self.device_speed is not None:
+            if len(self.device_speed) != d:
+                raise ValueError(
+                    f"device_speed has {len(self.device_speed)} entries for {d} devices"
+                )
+            if any(s <= 0 for s in self.device_speed):
+                raise ValueError(f"device speeds must be positive: {self.device_speed}")
+        if self.device_memory_bytes is not None:
+            if len(self.device_memory_bytes) != d:
+                raise ValueError(
+                    f"device_memory_bytes has {len(self.device_memory_bytes)} "
+                    f"entries for {d} devices"
+                )
+            if any(m <= 0 for m in self.device_memory_bytes):
+                raise ValueError(
+                    f"device memory capacities must be positive: {self.device_memory_bytes}"
+                )
+        for row in self.link_overrides:
+            src, dst, bandwidth, latency = row
+            if src == dst:
+                raise ValueError(f"link override {row} is a self-link")
+            if not (0 <= src < d and 0 <= dst < d):
+                raise ValueError(f"link override {row} outside 0..{d - 1}")
+            if bandwidth <= 0:
+                raise ValueError(f"link override {row} has non-positive bandwidth")
+            if latency < 0:
+                raise ValueError(f"link override {row} has negative latency")
 
     @property
     def num_devices(self) -> int:
         return self.nodes * self.gpus_per_node
+
+    @property
+    def is_uniform(self) -> bool:
+        """True when every device and same-class link is identical."""
+        return (
+            self.device_speed is None
+            and self.device_memory_bytes is None
+            and not self.link_overrides
+        )
+
+    # ------------------------------------------------------------------ #
+    # per-device / per-link accessors (the planner's view of the spec)
+
+    def node_of(self, device: int) -> int:
+        return device // self.gpus_per_node
+
+    def speed_of(self, device: int) -> float:
+        return 1.0 if self.device_speed is None else self.device_speed[device]
+
+    def peak_flops_of(self, device: int) -> float:
+        """Effective peak of one device (no arithmetic on uniform specs)."""
+        if self.device_speed is None:
+            return self.peak_flops
+        return self.peak_flops * self.device_speed[device]
+
+    def memory_bytes_of(self, device: int) -> int:
+        if self.device_memory_bytes is None:
+            return self.memory_bytes
+        return self.device_memory_bytes[device]
+
+    def link_params(self, src: int, dst: int) -> tuple[float, float]:
+        """(bandwidth, latency) of the directed link src -> dst."""
+        if src == dst:
+            raise ValueError("no self-links")
+        for o_src, o_dst, bandwidth, latency in self.link_overrides:
+            if o_src == src and o_dst == dst:
+                return bandwidth, latency
+        if self.node_of(src) == self.node_of(dst):
+            return self.intra_node_bandwidth, self.intra_node_latency
+        return self.inter_node_bandwidth, self.inter_node_latency
+
+    def speed_vector(self) -> tuple[float, ...]:
+        """Per-device speed multipliers (all ones for a uniform spec)."""
+        return tuple(self.speed_of(i) for i in range(self.num_devices))
+
+    def memory_vector(self) -> tuple[int, ...]:
+        """Per-device memory capacities in bytes."""
+        return tuple(self.memory_bytes_of(i) for i in range(self.num_devices))
+
+    def bandwidth_matrix(self) -> list[list[float]]:
+        """D x D directed bandwidths; the diagonal is +inf (no transfer)."""
+        d = self.num_devices
+        return [
+            [
+                float("inf") if i == j else self.link_params(i, j)[0]
+                for j in range(d)
+            ]
+            for i in range(d)
+        ]
 
 
 class Cluster:
@@ -56,8 +170,8 @@ class Cluster:
                 sim,
                 index=i,
                 node=i // spec.gpus_per_node,
-                peak_flops=spec.peak_flops,
-                memory_bytes=spec.memory_bytes,
+                peak_flops=spec.peak_flops_of(i),
+                memory_bytes=spec.memory_bytes_of(i),
                 curve=spec.curve,
             )
             for i in range(spec.num_devices)
@@ -70,17 +184,13 @@ class Cluster:
             raise ValueError("no self-links")
         key = (src, dst)
         if key not in self._links:
-            same_node = self.devices[src].node == self.devices[dst].node
+            bandwidth, latency = self.spec.link_params(src, dst)
             self._links[key] = Link(
                 self.sim,
                 src,
                 dst,
-                bandwidth_bytes_per_sec=(
-                    self.spec.intra_node_bandwidth if same_node else self.spec.inter_node_bandwidth
-                ),
-                latency_sec=(
-                    self.spec.intra_node_latency if same_node else self.spec.inter_node_latency
-                ),
+                bandwidth_bytes_per_sec=bandwidth,
+                latency_sec=latency,
             )
         return self._links[key]
 

@@ -1,0 +1,89 @@
+"""Canned heterogeneous cluster variants.
+
+Three shapes the partition/placement search must handle, each a
+perturbation of the default 4-device (2 nodes x 2 GPUs) testbed:
+
+* ``mixed-gen`` — a cluster upgraded half-way: devices 2..3 are a
+  previous-generation part at half throughput and 3/4 the memory.  The
+  balanced partitioner must give the slow half proportionally fewer
+  layers (BaPipe's motivating case, arXiv:2012.12544).
+* ``straggler-node`` — one device (index 1) pinned at 0.4x speed, the
+  planned-for version of what ``repro chaos --scenario straggler``
+  injects at runtime.  The balanced partitioner shrinks that stage's
+  layer span instead of letting it gate the pipeline.
+* ``asym-links`` — devices uniform, but the inter-node pair (1, 2) is
+  congested to ~1/5 bandwidth at 4x latency.  Partitioning alone cannot
+  fix a bad wire; the placement pass (Luo et al., arXiv:2204.10562)
+  must route the pipeline's cross-node cut over the healthy (3, 2)
+  path instead.
+
+All variants share ``num_devices == 4`` so they slot into the AWD-sized
+configurations used by the experiments and the fuzzer.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.sim.cluster import ClusterSpec
+
+__all__ = ["HETERO_VARIANTS", "hetero_variant", "hetero_variant_names"]
+
+GIB = 2**30
+
+
+def _mixed_gen(base: ClusterSpec) -> ClusterSpec:
+    d = base.num_devices
+    half = d // 2
+    return dataclasses.replace(
+        base,
+        device_speed=tuple([1.0] * half + [0.5] * (d - half)),
+        device_memory_bytes=tuple(
+            [base.memory_bytes] * half + [int(base.memory_bytes * 0.75)] * (d - half)
+        ),
+    )
+
+
+def _straggler_node(base: ClusterSpec) -> ClusterSpec:
+    speeds = [1.0] * base.num_devices
+    speeds[1 % base.num_devices] = 0.4
+    return dataclasses.replace(base, device_speed=tuple(speeds))
+
+
+def _asym_links(base: ClusterSpec) -> ClusterSpec:
+    if base.num_devices < 4:
+        raise ValueError("asym-links needs >= 4 devices")
+    slow_bw = base.inter_node_bandwidth / 5.0
+    slow_lat = base.inter_node_latency * 4.0
+    return dataclasses.replace(
+        base,
+        link_overrides=(
+            (1, 2, slow_bw, slow_lat),
+            (2, 1, slow_bw, slow_lat),
+        ),
+    )
+
+
+HETERO_VARIANTS: dict[str, object] = {
+    "mixed-gen": _mixed_gen,
+    "straggler-node": _straggler_node,
+    "asym-links": _asym_links,
+}
+
+
+def hetero_variant_names() -> tuple[str, ...]:
+    return tuple(HETERO_VARIANTS)
+
+
+def hetero_variant(name: str, base: ClusterSpec | None = None) -> ClusterSpec:
+    """A canned heterogeneous spec derived from ``base`` (default: the
+    2-node x 2-GPU testbed)."""
+    if base is None:
+        base = ClusterSpec(nodes=2, gpus_per_node=2)
+    try:
+        make = HETERO_VARIANTS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown hetero variant {name!r}; choose from {sorted(HETERO_VARIANTS)}"
+        ) from None
+    return make(base)

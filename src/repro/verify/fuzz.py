@@ -74,6 +74,14 @@ class FuzzConfig:
     activation_recompute: bool
     with_reference_model: bool
     seed: int
+    #: heterogeneity axis: "none" keeps the legacy uniform cluster
+    #: bit-for-bit; "speeds" draws per-device speed multipliers (timing
+    #: only), "memory" gives every device its own capacity (the OOM
+    #: regime squeezes one victim device below its lower bound instead of
+    #: the whole cluster), "both" does both.
+    hetero: str = "none"
+    device_speed: tuple[float, ...] = ()
+    oom_victim: int = 0
 
     def describe(self) -> str:
         extra = {
@@ -86,6 +94,7 @@ class FuzzConfig:
             f"it={self.iterations} mem={self.memory_regime}"
             + (" recompute" if self.activation_recompute else "")
             + (" +ref" if self.with_reference_model else "")
+            + (f" hetero={self.hetero}" if self.hetero != "none" else "")
         )
 
     def make_schedule(self) -> Schedule:
@@ -120,6 +129,22 @@ def fuzz_configs(count: int, seed: int = 0) -> list[FuzzConfig]:
                 placement, num_pipelines = "chimera", 2
             elif draw < 0.4:
                 placement, num_pipelines, virtual_factor = "interleaved", 1, 2
+        # Heterogeneity axis (devices == stages in every placement here).
+        hetero_draw = rng.random()
+        if hetero_draw < 0.20:
+            hetero = "speeds"
+        elif hetero_draw < 0.35:
+            hetero = "memory"
+        elif hetero_draw < 0.45:
+            hetero = "both"
+        else:
+            hetero = "none"
+        device_speed = ()
+        if hetero in ("speeds", "both"):
+            device_speed = tuple(
+                round(float(s), 2) for s in rng.uniform(0.4, 1.0, num_stages)
+            )
+        oom_victim = int(rng.integers(0, num_stages))
         configs.append(
             FuzzConfig(
                 case=case,
@@ -136,6 +161,9 @@ def fuzz_configs(count: int, seed: int = 0) -> list[FuzzConfig]:
                 activation_recompute=bool(rng.random() < 0.25),
                 with_reference_model=bool(rng.random() < 0.5),
                 seed=int(rng.integers(0, 2**31 - 1)),
+                hetero=hetero,
+                device_speed=device_speed,
+                oom_victim=oom_victim,
             )
         )
     return configs
@@ -196,11 +224,35 @@ def build_runner(cfg: FuzzConfig) -> tuple[PipelineSimRunner, "MemoryPredictionB
         capacity = max(prediction.lower) - 1
     capacity = max(capacity, 1)
 
+    # Heterogeneous memory gives every device its own determinate budget:
+    # "fits" puts each device just above its upper bound; "oom" squeezes
+    # one victim device strictly below its lower bound while the rest fit,
+    # so must_oom/must_fit stay decidable per device.
+    device_memory: tuple[int, ...] | None = None
+    if cfg.hetero in ("memory", "both"):
+        if cfg.memory_regime == "fits":
+            device_memory = tuple(int(hi) + 1 for hi in prediction.upper)
+        else:
+            victim = cfg.oom_victim % num_devices
+            device_memory = tuple(
+                max(int(prediction.lower[d]) - 1, 1)
+                if d == victim
+                else int(prediction.upper[d]) + 1
+                for d in range(num_devices)
+            )
+    effective_capacity = device_memory if device_memory is not None else int(capacity)
+
     sim = Simulator()
     cluster = make_cluster(
         sim,
         num_devices,
-        spec=ClusterSpec(nodes=num_devices, gpus_per_node=1, memory_bytes=int(capacity)),
+        spec=ClusterSpec(
+            nodes=num_devices,
+            gpus_per_node=1,
+            memory_bytes=int(capacity),
+            device_speed=cfg.device_speed or None,
+            device_memory_bytes=device_memory,
+        ),
     )
     runner = PipelineSimRunner(
         cluster,
@@ -214,7 +266,10 @@ def build_runner(cfg: FuzzConfig) -> tuple[PipelineSimRunner, "MemoryPredictionB
         activation_recompute=cfg.activation_recompute,
     )
     bundle = MemoryPredictionBundle(
-        prediction=prediction, capacity=int(capacity), schedule=schedule, num_stages=num_stages
+        prediction=prediction,
+        capacity=effective_capacity,
+        schedule=schedule,
+        num_stages=num_stages,
     )
     return runner, bundle
 
@@ -222,7 +277,7 @@ def build_runner(cfg: FuzzConfig) -> tuple[PipelineSimRunner, "MemoryPredictionB
 @dataclass
 class MemoryPredictionBundle:
     prediction: object
-    capacity: int
+    capacity: "int | tuple[int, ...]"  # per-device on heterogeneous draws
     schedule: Schedule
     num_stages: int
 

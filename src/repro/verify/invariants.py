@@ -205,16 +205,28 @@ class MemoryPrediction:
     whose *upper* bounds all fit must not.  With one hosted stage per
     device (a straight single-pipeline chain) the bounds coincide and the
     prediction is exact.
+
+    ``capacity`` may be a per-device sequence (a heterogeneous cluster's
+    ``device_memory_bytes``); a scalar is broadcast to every device.
     """
 
     lower: tuple[int, ...]
     upper: tuple[int, ...]
 
-    def must_oom(self, capacity: int) -> bool:
-        return any(lo > capacity for lo in self.lower)
+    def _capacities(self, capacity) -> tuple:
+        if isinstance(capacity, (int, float)):
+            return (capacity,) * len(self.lower)
+        if len(capacity) != len(self.lower):
+            raise ValueError(
+                f"{len(capacity)} capacities for {len(self.lower)} devices"
+            )
+        return tuple(capacity)
 
-    def must_fit(self, capacity: int) -> bool:
-        return all(hi <= capacity for hi in self.upper)
+    def must_oom(self, capacity) -> bool:
+        return any(lo > cap for lo, cap in zip(self.lower, self._capacities(capacity)))
+
+    def must_fit(self, capacity) -> bool:
+        return all(hi <= cap for hi, cap in zip(self.upper, self._capacities(capacity)))
 
 
 def predict_peak_memory(

@@ -1,4 +1,6 @@
-"""Partitioner: DP optimality (vs brute force), structure, fallbacks."""
+"""Partitioner: DP optimality (vs brute force), structure, fallbacks,
+and the balanced/heterogeneous generalization's differential + property
+suites (balanced == PipeDream DP bitwise on uniform input)."""
 
 import itertools
 
@@ -7,7 +9,14 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.graph import LayerCost, Partition, partition_model, partition_uniform
-from repro.graph.partitioner import bottleneck_time
+from repro.graph.partitioner import (
+    balanced_bottleneck,
+    bottleneck_time,
+    partition_balanced,
+    search_partition_placement,
+    search_placement,
+    stage_memory_bytes,
+)
 
 
 def costs_from(flops, acts=None, params=None):
@@ -135,3 +144,215 @@ class TestLayerCostValidation:
     def test_negative_cost_rejected(self):
         with pytest.raises(ValueError):
             LayerCost(name="x", flops_per_sample=-1, activation_bytes_per_sample=1, param_bytes=0)
+
+
+def _random_costs(rng, n):
+    return costs_from(
+        rng.uniform(1e3, 5e6, size=n).tolist(),
+        acts=rng.uniform(1e2, 1e6, size=n).tolist(),
+        params=[int(p) for p in rng.uniform(1e2, 1e6, size=n)],
+    )
+
+
+class TestBalancedDifferential:
+    """On uniform input the balanced DP must BE the PipeDream DP, bitwise."""
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        n=st.integers(4, 14),
+        k=st.integers(2, 6),
+        seed=st.integers(0, 100_000),
+        comm_weight=st.sampled_from([0.2, 0.5, 1.0]),
+    )
+    def test_uniform_input_is_bitwise_identical(self, n, k, seed, comm_weight):
+        if k > n:
+            return
+        rng = np.random.default_rng(seed)
+        costs = _random_costs(rng, n)
+        bandwidth = float(rng.uniform(1e7, 1e10))
+        flops_per_sec = float(rng.uniform(1e6, 1e9))
+        reference = partition_model(
+            costs, k, bandwidth_bytes_per_sec=bandwidth,
+            flops_per_sec=flops_per_sec, comm_weight=comm_weight,
+        )
+        balanced = partition_balanced(
+            costs, k, bandwidth_bytes_per_sec=bandwidth,
+            flops_per_sec=flops_per_sec, comm_weight=comm_weight,
+        )
+        assert balanced.boundaries == reference.boundaries
+
+    def test_unit_speeds_are_bitwise_identical(self):
+        # x / 1.0 == x in IEEE-754, so explicit unit speeds change nothing.
+        rng = np.random.default_rng(3)
+        costs = _random_costs(rng, 12)
+        reference = partition_model(costs, 4, bandwidth_bytes_per_sec=1e8)
+        balanced = partition_balanced(
+            costs, 4, device_speeds=[1.0] * 4, bandwidth_bytes_per_sec=1e8
+        )
+        assert balanced.boundaries == reference.boundaries
+
+    def test_uniform_joint_search_degenerates_to_identity(self):
+        rng = np.random.default_rng(11)
+        costs = _random_costs(rng, 10)
+        d = 4
+        matrix = [
+            [float("inf") if i == j else 1.25e8 for j in range(d)] for i in range(d)
+        ]
+        part, perm, _ = search_partition_placement(
+            costs, d, device_speeds=[1.0] * d, bandwidth_matrix=matrix,
+            flops_per_sec=2.0e8, comm_weight=0.2,
+        )
+        reference = partition_model(
+            costs, d, bandwidth_bytes_per_sec=1.25e8,
+            flops_per_sec=2.0e8, comm_weight=0.2,
+        )
+        assert part.boundaries == reference.boundaries
+        assert perm == (0, 1, 2, 3)
+
+
+def _hetero_instance(draw_seed, n, k):
+    rng = np.random.default_rng(draw_seed)
+    costs = _random_costs(rng, n)
+    speeds = [round(float(s), 2) for s in rng.uniform(0.3, 1.0, size=k)]
+    matrix = [
+        [
+            float("inf") if i == j else float(rng.uniform(1e7, 1e9))
+            for j in range(k)
+        ]
+        for i in range(k)
+    ]
+    return costs, speeds, matrix
+
+
+class TestBalancedProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(n=st.integers(5, 12), k=st.integers(2, 5), seed=st.integers(0, 100_000))
+    def test_covers_every_layer_exactly_once(self, n, k, seed):
+        if k > n:
+            return
+        costs, speeds, matrix = _hetero_instance(seed, n, k)
+        part = partition_balanced(
+            costs, k, device_speeds=speeds, bandwidth_bytes_per_sec=1e8,
+            flops_per_sec=1e6,
+        )
+        owners = [part.stage_of_layer(layer) for layer in range(n)]
+        assert sorted(set(owners)) == list(range(k))  # every stage non-empty
+        spans = [part.span(s) for s in range(k)]
+        covered = [layer for lo, hi in spans for layer in range(lo, hi)]
+        assert covered == list(range(n))  # each layer exactly once, in order
+
+    @settings(max_examples=40, deadline=None)
+    @given(n=st.integers(5, 12), k=st.integers(2, 4), seed=st.integers(0, 100_000))
+    def test_memory_caps_never_violated(self, n, k, seed):
+        if k > n:
+            return
+        costs, speeds, _ = _hetero_instance(seed, n, k)
+        total = sum(3.0 * c.param_bytes for c in costs)
+        rng = np.random.default_rng(seed + 1)
+        # generous-but-binding caps: each stage gets 40..120% of the mean
+        caps = [total / k * float(rng.uniform(0.4, 1.2)) + 3.0 * max(c.param_bytes for c in costs) for _ in range(k)]
+        try:
+            part = partition_balanced(
+                costs, k, device_speeds=speeds, bandwidth_bytes_per_sec=1e8,
+                flops_per_sec=1e6, memory_caps=caps,
+            )
+        except RuntimeError:
+            return  # infeasible caps are allowed to raise, never to overflow
+        for stage, used in enumerate(stage_memory_bytes(costs, part.boundaries)):
+            assert used <= caps[stage]
+
+    @settings(max_examples=40, deadline=None)
+    @given(n=st.integers(5, 12), k=st.integers(2, 5), seed=st.integers(0, 100_000))
+    def test_never_worse_than_uniform_partition_on_same_spec(self, n, k, seed):
+        if k > n:
+            return
+        costs, speeds, _ = _hetero_instance(seed, n, k)
+        balanced = partition_balanced(
+            costs, k, device_speeds=speeds, bandwidth_bytes_per_sec=1e8,
+            flops_per_sec=1e6,
+        )
+        uniform = partition_uniform(n, k)
+
+        def t(boundaries):
+            return balanced_bottleneck(
+                costs, boundaries, device_speeds=speeds,
+                bandwidth_bytes_per_sec=1e8, flops_per_sec=1e6,
+            )
+
+        assert t(balanced.boundaries) <= t(uniform.boundaries)
+
+    @settings(max_examples=30, deadline=None)
+    @given(n=st.integers(5, 10), k=st.integers(2, 5), seed=st.integers(0, 100_000))
+    def test_placement_is_a_true_permutation(self, n, k, seed):
+        if k > n:
+            return
+        costs, speeds, matrix = _hetero_instance(seed, n, k)
+        part, perm, t = search_partition_placement(
+            costs, k, device_speeds=speeds, bandwidth_matrix=matrix,
+            flops_per_sec=1e6,
+        )
+        assert sorted(perm) == list(range(k))
+        fixed_perm, fixed_t = search_placement(
+            costs, part.boundaries, device_speeds=speeds,
+            bandwidth_matrix=matrix, flops_per_sec=1e6,
+        )
+        assert sorted(fixed_perm) == list(range(k))
+
+    @settings(max_examples=30, deadline=None)
+    @given(n=st.integers(5, 10), k=st.integers(2, 5), seed=st.integers(0, 100_000))
+    def test_joint_search_never_worse_than_identity_placement(self, n, k, seed):
+        if k > n:
+            return
+        costs, speeds, matrix = _hetero_instance(seed, n, k)
+        part, perm, t_joint = search_partition_placement(
+            costs, k, device_speeds=speeds, bandwidth_matrix=matrix,
+            flops_per_sec=1e6,
+        )
+        chain_bw = [float("inf")] + [matrix[i - 1][i] for i in range(1, k)]
+        identity_part = partition_balanced(
+            costs, k, device_speeds=speeds,
+            bandwidth_bytes_per_sec=chain_bw, flops_per_sec=1e6,
+        )
+        t_identity = balanced_bottleneck(
+            costs, identity_part.boundaries, device_speeds=speeds,
+            bandwidth_bytes_per_sec=chain_bw, flops_per_sec=1e6,
+        )
+        assert t_joint <= t_identity + 1e-12
+
+    def test_slow_device_gets_fewer_layers(self):
+        costs = costs_from([100.0] * 8, acts=[1.0] * 8)
+        part = partition_balanced(
+            costs, 4, device_speeds=[1.0, 1.0, 0.25, 1.0],
+            bandwidth_bytes_per_sec=1e12, flops_per_sec=1.0,
+        )
+        sizes = [hi - lo for lo, hi in (part.span(s) for s in range(4))]
+        assert sizes[2] == 1  # the quarter-speed slot is given one layer
+        # bottleneck is the slow slot's single layer (100/0.25 = 400),
+        # half of the uniform cut's 2-layer slow stage (200/0.25 = 800)
+        t = balanced_bottleneck(
+            costs, part.boundaries, device_speeds=[1.0, 1.0, 0.25, 1.0],
+            bandwidth_bytes_per_sec=1e12, flops_per_sec=1.0,
+        )
+        t_uniform = balanced_bottleneck(
+            costs, (0, 2, 4, 6, 8), device_speeds=[1.0, 1.0, 0.25, 1.0],
+            bandwidth_bytes_per_sec=1e12, flops_per_sec=1.0,
+        )
+        assert t == pytest.approx(400.0)
+        assert t_uniform == pytest.approx(800.0)
+
+    def test_infeasible_caps_raise(self):
+        costs = costs_from([10.0] * 6, params=[1000] * 6)
+        with pytest.raises(RuntimeError):
+            partition_balanced(
+                costs, 3, memory_caps=[1.0, 1.0, 1.0],
+            )
+
+    def test_speed_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            partition_balanced(costs_from([1, 2, 3]), 2, device_speeds=[1.0])
+
+    def test_per_stage_bandwidth_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            partition_balanced(
+                costs_from([1, 2, 3]), 2, bandwidth_bytes_per_sec=[1.0, 2.0, 3.0]
+            )

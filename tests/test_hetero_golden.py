@@ -1,0 +1,60 @@
+"""Golden regression test for the heterogeneous-clusters artifact.
+
+The benchmark suite regenerates ``benchmarks/results/hetero_clusters.txt``
+on every run; this test pins it.  It re-runs the experiment at the
+benchmark's full scale, re-renders the table exactly the way the
+benchmark does, and compares byte-for-byte against the checked-in
+artifact — any drift in the cluster model, the balanced-partition DP,
+the placement search, or the simulator on heterogeneous specs fails
+loudly here instead of silently rewriting the golden on the next
+benchmark run.
+"""
+
+import pathlib
+
+from repro.experiments import run_hetero
+from repro.utils import format_table
+
+GOLDEN = (
+    pathlib.Path(__file__).parent.parent
+    / "benchmarks"
+    / "results"
+    / "hetero_clusters.txt"
+)
+
+
+def render_hetero() -> str:
+    """Render the artifact exactly as benchmarks/test_hetero_clusters.py emits it."""
+    data = run_hetero()
+    table = format_table(
+        ["workload", "variant", "strategy", "boundaries", "placement", "batch time (ms)", "speedup"],
+        [
+            [
+                r.workload,
+                r.variant,
+                r.strategy,
+                str(r.boundaries),
+                str(r.placement),
+                "OOM" if r.oom else r.batch_time * 1e3,
+                r.speedup_vs_uniform,
+            ]
+            for r in data["rows"]
+        ],
+        title="Heterogeneous clusters — planning strategies on GNMT",
+    )
+    return table + "\n"
+
+
+def test_hetero_artifact_matches_golden():
+    assert GOLDEN.exists(), f"golden artifact missing: {GOLDEN}"
+    fresh = render_hetero()
+    golden = GOLDEN.read_text()
+    assert fresh == golden, (
+        "hetero artifact drifted from benchmarks/results/hetero_clusters.txt; "
+        "if the change is intentional, regenerate it with "
+        "`PYTHONPATH=src python -m pytest benchmarks/test_hetero_clusters.py`"
+    )
+
+
+def test_hetero_render_is_deterministic():
+    assert render_hetero() == render_hetero()
