@@ -1,0 +1,43 @@
+"""Multi-job scheduler smoke: elastic fair-share vs static FIFO.
+
+The ISSUE-9 acceptance scenario at benchmark scale: the canned seeded
+"smoke" arrival process (8 devices, 7 mixed gnmt/bert/awd jobs) run under
+the static FIFO baseline and the elastic weighted fair-share policy, plus
+the real-trainer elastic-oracle numerics cross-check for every job the
+elastic policy resized.
+
+Shape asserted: elastic inter-job resizing beats static FIFO on *both*
+cluster utilization and queue-wait p95, and every replayed job's
+post-resize numerics are clean against the §3.2 oracle.  The rendered
+report is emitted to ``benchmarks/results/sched_smoke.txt`` and pinned
+byte-for-byte by ``tests/test_sched_golden.py``.
+"""
+
+from repro.sched import SchedVerdict, crosscheck_result, render_report, run_scenario
+
+from .conftest import run_once
+
+
+def build_verdict() -> SchedVerdict:
+    fifo = run_scenario("smoke", "fifo", seed=0)
+    fair = run_scenario("smoke", "fair", seed=0)
+    return SchedVerdict(
+        baseline=fifo,
+        candidate=fair,
+        crosschecks=crosscheck_result(fair, seed=0),
+    )
+
+
+def render_sched_smoke(verdict: SchedVerdict) -> str:
+    return render_report(verdict).rstrip("\n")
+
+
+def test_sched_smoke(benchmark, emit):
+    verdict = run_once(benchmark, build_verdict)
+    emit("sched_smoke", render_sched_smoke(verdict))
+
+    assert verdict.util_improved, "elastic fair-share must beat FIFO utilization"
+    assert verdict.wait_p95_improved, "elastic fair-share must beat FIFO wait p95"
+    assert verdict.crosschecks, "the smoke scenario must exercise a resize"
+    assert verdict.numerics_clean
+    assert verdict.passed

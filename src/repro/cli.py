@@ -7,6 +7,7 @@
     python -m repro timeline --schedule 1f1b  # render a schedule timeline
     python -m repro verify --quick            # oracle + sanitizer + fuzzer
     python -m repro chaos --scenario smoke    # fault injection + recovery
+    python -m repro sched --scenario smoke --policy fair  # multi-job elastic scheduler
     python -m repro report --out obs_out      # instrumented run + Chrome trace
     python -m repro bench --suite smoke       # hot-path benchmarks -> BENCH_<n>.json
     python -m repro calibrate gnmt            # simulator calibration matrix
@@ -295,6 +296,23 @@ def _cmd_verify(args: argparse.Namespace) -> int:
                 print(f"FUZZ {r.config.describe()}: {p}")
         print(f"fuzz: {len(results)} configs ({ooms} predicted OOM), {spans} trace spans checked")
 
+    # ---- scheduler fuzzer (job-arrival axis) --------------------------- #
+    sched_count = args.sched_fuzz if args.sched_fuzz is not None else (3 if args.quick else 9)
+    if sched_count > 0:
+        from repro.verify import run_sched_fuzz
+
+        sresults = run_sched_fuzz(sched_count, seed=args.seed)
+        done = sum(r.jobs_completed for r in sresults)
+        rejected = sum(r.jobs_rejected for r in sresults)
+        preempts = sum(r.preemptions for r in sresults)
+        resizes = sum(r.resizes for r in sresults)
+        for r in sresults:
+            for p in r.problems:
+                failures += 1
+                print(f"SCHED-FUZZ {r.config.describe()}: {p}")
+        print(f"sched-fuzz: {len(sresults)} clusters ({done} jobs completed, "
+              f"{rejected} rejected, {preempts} preemptions, {resizes} resizes)")
+
     if args.inject == "causality":
         cfg = next(
             c for c in fuzz_configs(50, seed=args.seed)
@@ -337,6 +355,59 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     else:
         print(report.render())
     return 0 if report.recovered else 1
+
+
+def _cmd_sched(args: argparse.Namespace) -> int:
+    """Multi-job scheduler: run a canned scenario under one policy and
+    compare against the static FIFO baseline."""
+    from repro.sched import (
+        SCHED_SCENARIOS,
+        SchedVerdict,
+        crosscheck_result,
+        render_report,
+        run_scenario,
+    )
+
+    if args.list:
+        for name, scenario in sorted(SCHED_SCENARIOS.items()):
+            devices = scenario.nodes * scenario.gpus_per_node
+            print(f"{name:8s} {devices:2d} devices, {scenario.num_jobs:2d} jobs  "
+                  f"{scenario.description}")
+        return 0
+
+    candidate = run_scenario(args.scenario, args.policy, seed=args.seed)
+    if args.policy == "fifo" or args.no_baseline:
+        baseline = candidate
+    else:
+        baseline = run_scenario(args.scenario, "fifo", seed=args.seed)
+    crosschecks = []
+    if not args.no_crosscheck:
+        crosschecks = crosscheck_result(candidate, seed=args.seed)
+    verdict = SchedVerdict(
+        baseline=baseline, candidate=candidate, crosschecks=crosschecks
+    )
+
+    if args.json:
+        import json
+
+        print(json.dumps(verdict.to_dict(), indent=2, default=float))
+    else:
+        print(render_report(verdict))
+    if args.out:
+        import json
+        import os
+
+        os.makedirs(args.out, exist_ok=True)
+        log_path = os.path.join(args.out, f"sched_{args.scenario}_{args.policy}.log")
+        with open(log_path, "w") as fh:
+            fh.write(candidate.log_text() + "\n")
+        with open(os.path.join(args.out, "sched_verdict.json"), "w") as fh:
+            json.dump(verdict.to_dict(), fh, indent=2, default=float)
+        print(f"\nwrote {log_path}, sched_verdict.json")
+    if baseline is candidate:
+        # no comparison requested: succeed if the run itself was healthy
+        return 0 if all(c.ok for c in crosschecks) else 1
+    return 0 if verdict.passed else 1
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
@@ -561,6 +632,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--tol", type=float, default=1e-9,
                    help="max tolerated |delta| between pipeline and oracle")
     p.add_argument("--quick", action="store_true", help="reduced sweep for CI smoke runs")
+    p.add_argument("--sched-fuzz", type=int, default=None, metavar="N",
+                   help="number of fuzzed multi-job scheduler clusters "
+                        "(default: 9, or 3 with --quick; 0 disables)")
     p.add_argument("--inject", default="none",
                    choices=["none", "swapped-bwd", "dropped-bwd", "dup-fwd",
                             "cross-deadlock", "causality"],
@@ -578,6 +652,24 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--json", action="store_true", help="emit the report as JSON")
     p.add_argument("--list", action="store_true", help="list scenarios and exit")
     p.set_defaults(fn=_cmd_chaos)
+
+    p = sub.add_parser("sched", help="multi-job elastic scheduler vs static FIFO")
+    p.add_argument("--scenario", default="smoke",
+                   choices=["smoke", "rush", "hetero"],
+                   help="canned seeded arrival scenario (see --list)")
+    p.add_argument("--policy", default="fair",
+                   choices=["fifo", "priority", "fair"],
+                   help="scheduling policy for the candidate run")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--no-baseline", action="store_true",
+                   help="skip the static FIFO comparison run")
+    p.add_argument("--no-crosscheck", action="store_true",
+                   help="skip the real-trainer elastic-oracle numerics replay")
+    p.add_argument("--json", action="store_true", help="emit the verdict as JSON")
+    p.add_argument("--out", default=None,
+                   help="directory for the event log + sched_verdict.json")
+    p.add_argument("--list", action="store_true", help="list scenarios and exit")
+    p.set_defaults(fn=_cmd_sched)
 
     p = sub.add_parser("report", help="instrumented run: metrics, Chrome trace, run report")
     p.add_argument("--workload", default="bert", choices=["gnmt", "bert", "awd"])

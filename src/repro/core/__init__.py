@@ -2,6 +2,11 @@
 
 * :mod:`elastic` — the elastic-averaging-based framework (§3.2): N
   parallel models, a reference model, α = 1/N pull, optimizer-agnostic.
+  Its :meth:`~elastic.ElasticAveragingFramework.resize` (shrink, α
+  renormalized) and :meth:`~elastic.ElasticAveragingFramework.add_model`
+  (grow, seeded from the reference) are the elastic levers both the
+  resilience policies and the :mod:`repro.sched` multi-job scheduler
+  drive at runtime.
 * :mod:`messages` — asynchronous update queues between parallel pipelines
   and the reference process (§3.2 step 3).
 * :mod:`trainer` — real-numerics training loops for AvgPipe and for every
@@ -24,7 +29,13 @@ from repro.core.trainer import (
 )
 from repro.core.profiler import Profile, Profiler
 from repro.core.predictor import Prediction, Predictor
-from repro.core.tuner import GuidelineTuner, ProfilingTuner, TraversalTuner, TuningOutcome
+from repro.core.tuner import (
+    GuidelineTuner,
+    ProfilingTuner,
+    TraversalTuner,
+    TuningOutcome,
+    plan_for_spec,
+)
 from repro.core.simcfg import SIM_CALIBRATIONS, SimCalibration
 from repro.core.avgpipe import AvgPipe, AvgPipePlan
 from repro.core.checkpoint import load_trainer, save_trainer
@@ -46,6 +57,7 @@ __all__ = [
     "TraversalTuner",
     "GuidelineTuner",
     "TuningOutcome",
+    "plan_for_spec",
     "SimCalibration",
     "SIM_CALIBRATIONS",
     "AvgPipe",

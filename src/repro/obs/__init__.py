@@ -24,7 +24,7 @@ from repro.obs.registry import (
     Histogram,
     MetricRegistry,
 )
-from repro.obs.report import RunReport, build_run_report
+from repro.obs.report import RunReport, build_run_report, sched_telemetry
 from repro.obs.telemetry import (
     ClusterTelemetrySampler,
     TrainingTelemetry,
@@ -45,6 +45,7 @@ __all__ = [
     "publish_cluster",
     "RunReport",
     "build_run_report",
+    "sched_telemetry",
     "Benchmark",
     "BenchResult",
     "bench_catalog",

@@ -30,7 +30,7 @@ from repro.obs.registry import MetricRegistry
 from repro.obs.telemetry import TrainingTelemetry
 from repro.obs.trace_export import TraceExporter
 
-__all__ = ["RunReport", "build_run_report", "EQ1_COMPONENTS"]
+__all__ = ["RunReport", "build_run_report", "sched_telemetry", "EQ1_COMPONENTS"]
 
 MIB = 2**20
 EQ1_COMPONENTS = ("gpu", "com", "bub", "sync")
@@ -61,6 +61,9 @@ class RunReport:
     activation_peak_bytes: list[float] = field(default_factory=list)
     span_summary: list[dict] = field(default_factory=list)
     numerics: dict = field(default_factory=dict)
+    #: multi-job scheduler telemetry (``sched.*``), present when the
+    #: attached registry saw a :mod:`repro.sched` run.
+    sched: dict = field(default_factory=dict)
     metrics: dict = field(default_factory=dict)
     trace_events: int = 0
 
@@ -93,6 +96,7 @@ class RunReport:
             },
             "span_summary": self.span_summary,
             "numerics": self.numerics,
+            "sched": self.sched,
             "trace_events": self.trace_events,
             "metrics": self.metrics,
         }
@@ -167,6 +171,26 @@ class RunReport:
                 f"update RMS mean/p50: "
                 f"{n.get('update_rms_mean', float('nan')):.2e} / "
                 f"{n['update_rms_p50']:.2e}",
+            ]
+        if self.sched:
+            s = self.sched
+            w = s["queue_wait"]
+            lines += [
+                "",
+                "## Scheduler (multi-job elastic service)",
+                "",
+                f"- cluster utilization: {s['cluster_util']:.4f} over "
+                f"{s['makespan']:.3f} s makespan "
+                f"({s['busy_device_seconds']:.1f} busy device-seconds)",
+                f"- jobs: {s['jobs_completed']:.0f} completed, "
+                f"{s['jobs_rejected']:.0f} rejected, "
+                f"{s['preemptions']:.0f} preemptions, "
+                f"{s['grows']:.0f} grows, {s['shrinks']:.0f} shrinks",
+                "",
+                "| queue wait | p50 | p95 | p99 | jobs |",
+                "|---|---|---|---|---|",
+                f"| seconds | {w['p50']:.4f} | {w['p95']:.4f} "
+                f"| {w['p99']:.4f} | {w['count']} |",
             ]
         lines += [
             "",
@@ -270,8 +294,36 @@ def build_run_report(
     if train_epochs > 0:
         report.numerics = _numerics_telemetry(registry, seed, train_epochs)
 
+    report.sched = sched_telemetry(registry)
     report.metrics = registry.snapshot()
     return report, TraceExporter(trace, num_devices=result.num_stages)
+
+
+def sched_telemetry(registry: MetricRegistry) -> dict:
+    """``sched.*`` telemetry for the report, or ``{}`` when the registry
+    never saw a scheduler run (a caller shares one registry between
+    :class:`repro.sched.ClusterScheduler` and :func:`build_run_report`,
+    or stitches the section on afterwards)."""
+    hist = registry.get("sched.queue_wait")
+    if hist is None:
+        return {}
+    wait = hist.summary()
+    return {
+        "cluster_util": registry.value("sched.cluster_util"),
+        "makespan": registry.value("sched.makespan"),
+        "busy_device_seconds": registry.value("sched.busy_device_seconds"),
+        "jobs_completed": registry.value("sched.jobs", event="completed"),
+        "jobs_rejected": registry.value("sched.jobs", event="rejected"),
+        "preemptions": registry.value("sched.jobs", event="preempted"),
+        "grows": registry.value("sched.resize", direction="grow"),
+        "shrinks": registry.value("sched.resize", direction="shrink"),
+        "queue_wait": {
+            "p50": wait["p50"],
+            "p95": wait["p95"],
+            "p99": wait["p99"],
+            "count": wait["count"],
+        },
+    }
 
 
 def _numerics_telemetry(registry: MetricRegistry, seed: int, epochs: int) -> dict:

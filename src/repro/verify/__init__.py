@@ -11,9 +11,12 @@ stack (see ``docs/verification.md``):
   memory model;
 * :mod:`repro.verify.fuzz` — a seeded config fuzzer driving the event
   simulator with a trace causality checker and an OOM-iff-predicted
-  cross-check.
+  cross-check;
+* :mod:`repro.verify.fuzz_sched` — a seeded job-arrival fuzzer driving
+  the :mod:`repro.sched` multi-job scheduler and auditing admission,
+  memory caps, device-time conservation, and determinism.
 
-``repro verify`` on the CLI runs all three.
+``repro verify`` on the CLI runs all of them.
 """
 
 from repro.verify.invariants import (
@@ -49,6 +52,13 @@ from repro.verify.fuzz import (
     run_fuzz,
     run_fuzz_case,
 )
+from repro.verify.fuzz_sched import (
+    SchedFuzzConfig,
+    SchedFuzzResult,
+    run_sched_fuzz,
+    run_sched_fuzz_case,
+    sched_fuzz_configs,
+)
 
 __all__ = [
     "Violation",
@@ -78,4 +88,9 @@ __all__ = [
     "run_fuzz_case",
     "check_trace_causality",
     "inject_causality_violation",
+    "SchedFuzzConfig",
+    "SchedFuzzResult",
+    "sched_fuzz_configs",
+    "run_sched_fuzz",
+    "run_sched_fuzz_case",
 ]

@@ -78,3 +78,51 @@ class TestVerify:
         out = capsys.readouterr().out
         assert code == 1
         assert "CAUSALITY" in out
+
+
+class TestSched:
+    def test_sched_defaults(self):
+        args = build_parser().parse_args(["sched"])
+        assert args.scenario == "smoke"
+        assert args.policy == "fair"
+        assert args.seed == 0
+
+    def test_sched_unknown_scenario_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sched", "--scenario", "weekend"])
+
+    def test_sched_list(self, capsys):
+        code = main(["sched", "--list"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "smoke" in out and "rush" in out and "hetero" in out
+
+    def test_sched_smoke_fair_passes(self, capsys):
+        code = main(["sched", "--scenario", "smoke", "--policy", "fair", "--seed", "0"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Verdict: PASS" in out
+        assert "cluster utilization" in out
+        assert "queue wait p95 (s)" in out
+        assert "cross-check" in out
+
+    def test_sched_json_and_artifacts(self, tmp_path, capsys):
+        import json
+
+        code = main([
+            "sched", "--scenario", "smoke", "--policy", "fair", "--seed", "0",
+            "--no-crosscheck", "--json", "--out", str(tmp_path),
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        payload = json.loads(out[: out.rindex("}") + 1])
+        assert payload["passed"] is True
+        assert payload["util_improved"] is True
+        assert (tmp_path / "sched_smoke_fair.log").exists()
+        verdict = json.loads((tmp_path / "sched_verdict.json").read_text())
+        assert verdict["candidate"]["policy"] == "fair"
+
+    def test_sched_fifo_without_baseline_is_healthy(self, capsys):
+        code = main(["sched", "--scenario", "smoke", "--policy", "fifo",
+                     "--no-crosscheck"])
+        assert code == 0

@@ -259,3 +259,159 @@ def test_divergence_bounded_under_bounded_updates(seed):
     # With |update| <= 0.1 and alpha = 1/3 the stationary divergence is
     # O(|update| / alpha); allow generous slack but forbid blow-up.
     assert max(divergences[5:]) < 1.0
+
+
+# ---------------------------------------------------------------------- #
+# grow path: add_model (the scheduler's grow lever)
+
+
+def _fresh_probe_model(seed=0):
+    rng = np.random.default_rng(seed)
+    model = PipelineModel(layers=[_Probe()], name="probe")
+    for _, p in model.named_parameters():
+        p.data = rng.standard_normal(p.shape).astype(np.float32)
+    return model
+
+
+def test_add_model_seeds_newcomer_from_reference_bitwise():
+    """The default rejoin restarts the newcomer at the reference exactly,
+    so its first dilution is a no-op and its first delta is measured from
+    the center."""
+    framework, _ = make_framework(2)
+    newcomer = _fresh_probe_model(seed=99)  # arbitrary stale weights
+    index = framework.add_model(newcomer)
+    assert index == 2
+    for name, p in newcomer.named_parameters():
+        np.testing.assert_array_equal(p.data, framework.reference[name])
+
+
+def test_add_model_keeps_weights_when_not_seeding():
+    framework, _ = make_framework(2)
+    newcomer = _fresh_probe_model(seed=99)
+    stale = {k: v.copy() for k, v in newcomer.state_dict().items()}
+    framework.add_model(newcomer, seed_from_reference=False)
+    for k, v in newcomer.state_dict().items():
+        np.testing.assert_array_equal(v, stale[k])
+
+
+def test_add_model_rejects_mismatched_structure():
+    framework, _ = make_framework(2)
+
+    class _Other(PipelineLayer):
+        def __init__(self):
+            super().__init__()
+            self.other = Linear(3, 3, bias=False)
+
+        def forward(self, bundle):
+            return bundle
+
+        def flops_per_sample(self):
+            return 1.0
+
+        def activation_floats_per_sample(self):
+            return 1.0
+
+    with pytest.raises(ValueError, match="mismatched parameter structure"):
+        framework.add_model(PipelineModel(layers=[_Other()], name="other"))
+
+
+@pytest.mark.parametrize("n_before, grows", [(1, 1), (2, 1), (2, 2), (3, 1)])
+def test_post_grow_alpha_is_reciprocal_and_zero_update_fixed_point(n_before, grows):
+    """After growing N -> N', an automatic alpha renormalizes to 1/N' and
+    the all-equal zero-update state is still a fixed point of the round
+    (the grow-side mirror of the evict-path test above)."""
+    framework, models = make_framework(n_before, alpha=None)
+    for _ in range(grows):
+        models.append(_fresh_probe_model(seed=7))
+        framework.add_model(models[-1])
+    n_after = n_before + grows
+    assert framework.num_parallel == n_after
+    assert framework.alpha == pytest.approx(1.0 / n_after)
+    ref0 = {k: v.copy() for k, v in framework.reference.items()}
+    apply_updates(framework, models, [np.float32(0.0)] * n_after)
+    for name in ref0:
+        np.testing.assert_array_equal(framework.reference[name], ref0[name])
+    assert framework.divergence() < 1e-6
+
+
+def test_add_model_keeps_explicit_alpha():
+    framework, _ = make_framework(2, alpha=0.4)
+    framework.add_model(_fresh_probe_model(seed=3))
+    assert framework.alpha == pytest.approx(0.4)
+
+
+def test_add_model_discards_the_inflight_round():
+    """Queued deltas were produced under the old N's normalization; a
+    membership change must drop them, so the next reference advance needs
+    a full round from all N' models."""
+    framework, models = make_framework(2)
+    before = framework.capture(0)
+    for _, p in models[0].named_parameters():
+        p.data = p.data + np.float32(0.25)
+    framework.commit(0, before)  # one delta in flight
+    ref0 = {k: v.copy() for k, v in framework.reference.items()}
+    framework.add_model(_fresh_probe_model(seed=11))
+    assert framework.end_iteration() is False  # no stale delta survives
+    for name in ref0:
+        np.testing.assert_array_equal(framework.reference[name], ref0[name])
+
+
+@settings(max_examples=20, deadline=None)
+@given(updates=updates_strategy, grow_update=st.floats(-1.0, 1.0))
+def test_post_grow_round_conserves_sum_of_models_plus_reference(updates, grow_update):
+    """Conservation (the evict-path invariant above) survives a grow:
+    from the all-equal state, admitting a reference-seeded newcomer keeps
+    reference == mean(models), so the first full post-grow round still
+    only redistributes mass."""
+    n_before = len(updates)
+    framework, models = make_framework(n_before, alpha=None)
+    models.append(_fresh_probe_model(seed=23))
+    framework.add_model(models[-1])
+    ups = [np.float32(u) for u in updates] + [np.float32(grow_update)]
+
+    post_opt_total: dict[str, np.ndarray] = {}
+    for i, (model, upd) in enumerate(zip(models, ups)):
+        before = framework.capture(i)
+        for name, p in model.named_parameters():
+            p.data = p.data + upd
+            post_opt_total[name] = post_opt_total.get(name, 0.0) + p.data.astype(np.float64)
+        framework.commit(i, before)
+    ref_before = {k: v.astype(np.float64) for k, v in framework.reference.items()}
+    framework.end_iteration()
+
+    for name in ref_before:
+        total_before = post_opt_total[name] + ref_before[name]
+        total_after = sum(
+            dict(m.named_parameters())[name].data.astype(np.float64) for m in models
+        ) + framework.reference[name].astype(np.float64)
+        np.testing.assert_allclose(total_after, total_before, atol=1e-5)
+
+
+def test_add_model_parity_with_rejoin_pipeline_policy():
+    """trainer.rejoin_pipeline and the RejoinPipeline recovery policy are
+    the same lever: starting from identical trainers, both leave the
+    framework in a bitwise-identical state (newcomer seeded from the
+    reference, alpha = 1/N')."""
+    from repro.resilience import RejoinPipeline
+    from repro.resilience.chaos import tiny_chaos_spec
+
+    from repro.core.trainer import AvgPipeTrainer
+
+    spec = tiny_chaos_spec()
+    t_direct = AvgPipeTrainer(spec, seed=0, num_pipelines=2, max_epochs=1)
+    t_policy = AvgPipeTrainer(spec, seed=0, num_pipelines=2, max_epochs=1)
+
+    joined_direct = t_direct.rejoin_pipeline()
+    outcome = RejoinPipeline().apply(t_policy)
+
+    assert outcome["joined_as"] == joined_direct
+    assert t_policy.num_pipelines == t_direct.num_pipelines == 3
+    assert t_policy.framework.alpha == pytest.approx(t_direct.framework.alpha)
+    for m_d, m_p in zip(t_direct.framework.models, t_policy.framework.models):
+        sd, sp = m_d.state_dict(), m_p.state_dict()
+        for k in sd:
+            np.testing.assert_array_equal(sp[k], sd[k])
+    for name in t_direct.framework.reference:
+        np.testing.assert_array_equal(
+            t_policy.framework.reference[name], t_direct.framework.reference[name]
+        )

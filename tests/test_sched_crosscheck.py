@@ -1,0 +1,81 @@
+"""Numerics cross-check: scheduler N-trajectories replayed on a real
+trainer and verified against the elastic oracle."""
+
+import pytest
+
+from repro.sched import Job, JobSpec, crosscheck_job, crosscheck_result, run_scenario
+
+
+def trajectory_job(trajectory):
+    job = Job(
+        spec=JobSpec(
+            job_id="jt",
+            family="awd",
+            num_stages=2,
+            num_micro=4,
+            total_batches=8,
+            pipelines=2,
+            min_pipelines=1,
+            max_pipelines=3,
+        )
+    )
+    job.trajectory = trajectory
+    return job
+
+
+def test_resize_trajectory_is_clean():
+    job = trajectory_job([
+        (0.0, "admit", 2),
+        (1.0, "grow", 3),
+        (2.0, "shrink", 1),
+    ])
+    result = crosscheck_job(job, seed=0)
+    assert result.events == 2
+    assert result.ok
+    assert result.divergence <= result.tolerance
+
+
+def test_preempt_resume_trajectory_is_clean():
+    """The full preemption round-trip: checkpoint (format v2), restore
+    into a fresh trainer, grow back to the resumed N."""
+    job = trajectory_job([
+        (0.0, "admit", 2),
+        (1.0, "preempt", 2),
+        (2.0, "resume", 3),
+        (3.0, "shrink", 2),
+    ])
+    result = crosscheck_job(job, seed=0)
+    assert result.events == 3
+    assert result.ok
+
+
+def test_trajectory_must_start_with_admit():
+    job = trajectory_job([(0.0, "grow", 2)])
+    with pytest.raises(ValueError, match="starts with 'grow'"):
+        crosscheck_job(job, seed=0)
+
+
+def test_trajectory_must_not_end_preempted():
+    job = trajectory_job([(0.0, "admit", 2), (1.0, "preempt", 2)])
+    with pytest.raises(ValueError, match="ends preempted"):
+        crosscheck_job(job, seed=0)
+
+
+def test_empty_trajectory_raises():
+    job = trajectory_job([])
+    with pytest.raises(ValueError, match="no trajectory"):
+        crosscheck_job(job, seed=0)
+
+
+@pytest.mark.parametrize("policy", ["fair", "priority"])
+def test_scenario_crosschecks_are_clean(policy):
+    """ISSUE 9 acceptance: every preempted-then-resumed or resized job in
+    the canned scenario cross-checks clean against the elastic oracle."""
+    result = run_scenario("smoke", policy, seed=0)
+    checks = crosscheck_result(result, seed=0)
+    assert checks, f"{policy} on smoke must resize or preempt at least one job"
+    for check in checks:
+        assert check.ok, f"{check.job_id} diverged by {check.divergence}"
+    # only jobs with an eventful trajectory were replayed
+    eventful = {j.job_id for j in result.jobs if j.was_resized or j.was_preempted}
+    assert {c.job_id for c in checks} == eventful

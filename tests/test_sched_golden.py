@@ -1,0 +1,49 @@
+"""Golden regression test for the scheduler smoke artifact.
+
+The benchmark suite regenerates ``benchmarks/results/sched_smoke.txt`` on
+every run; this test pins it.  It re-runs the seeded FIFO-vs-fair-share
+smoke scenario (including the elastic-oracle numerics cross-check),
+re-renders the report exactly the way the benchmark does, and compares
+byte-for-byte against the checked-in artifact — any drift in the arrival
+generator, the chain planner, the admission predictor, the policies, or
+the event loop fails loudly here instead of silently rewriting the golden
+on the next benchmark run.
+"""
+
+import pathlib
+
+from repro.sched import SchedVerdict, crosscheck_result, render_report, run_scenario
+
+GOLDEN = (
+    pathlib.Path(__file__).parent.parent
+    / "benchmarks"
+    / "results"
+    / "sched_smoke.txt"
+)
+
+
+def render_sched_smoke() -> str:
+    """Render the artifact exactly as benchmarks/test_sched_smoke.py emits it."""
+    fifo = run_scenario("smoke", "fifo", seed=0)
+    fair = run_scenario("smoke", "fair", seed=0)
+    verdict = SchedVerdict(
+        baseline=fifo,
+        candidate=fair,
+        crosschecks=crosscheck_result(fair, seed=0),
+    )
+    return render_report(verdict).rstrip("\n") + "\n"
+
+
+def test_sched_artifact_matches_golden():
+    assert GOLDEN.exists(), f"golden artifact missing: {GOLDEN}"
+    fresh = render_sched_smoke()
+    golden = GOLDEN.read_text()
+    assert fresh == golden, (
+        "sched artifact drifted from benchmarks/results/sched_smoke.txt; "
+        "if the change is intentional, regenerate it with "
+        "`PYTHONPATH=src python -m pytest benchmarks/test_sched_smoke.py`"
+    )
+
+
+def test_sched_render_is_deterministic():
+    assert render_sched_smoke() == render_sched_smoke()

@@ -1,0 +1,132 @@
+"""Job model: spec validation and the lifecycle state machine."""
+
+import math
+
+import pytest
+
+from repro.sched import Job, JobSpec, JobState, JobStateError
+
+
+def make_spec(**overrides):
+    base = dict(
+        job_id="j00",
+        family="awd",
+        num_stages=2,
+        num_micro=4,
+        total_batches=10,
+        pipelines=2,
+        min_pipelines=1,
+        max_pipelines=3,
+    )
+    base.update(overrides)
+    return JobSpec(**base)
+
+
+# --------------------------------------------------------------------- #
+# spec validation
+
+
+@pytest.mark.parametrize(
+    "overrides",
+    [
+        {"num_stages": 0},
+        {"num_micro": 0},
+        {"total_batches": 0},
+        {"pipelines": 4},  # requested > max
+        {"min_pipelines": 3, "pipelines": 2},  # min > requested
+        {"min_pipelines": 0},
+        {"weight": 0.0},
+        {"weight": -1.0},
+        {"submit_time": -0.1},
+    ],
+)
+def test_invalid_specs_raise(overrides):
+    with pytest.raises(ValueError):
+        make_spec(**overrides)
+
+
+def test_spec_is_frozen():
+    spec = make_spec()
+    with pytest.raises(Exception):
+        spec.pipelines = 5
+
+
+# --------------------------------------------------------------------- #
+# state machine
+
+
+def test_nominal_lifecycle():
+    job = Job(spec=make_spec())
+    assert job.state == JobState.QUEUED
+    for state in (JobState.ADMITTED, JobState.RUNNING, JobState.RESIZING,
+                  JobState.RUNNING, JobState.PREEMPTED, JobState.ADMITTED,
+                  JobState.RUNNING, JobState.DONE):
+        job.transition(state)
+    assert job.is_terminal
+
+
+def test_rejection_is_terminal():
+    job = Job(spec=make_spec())
+    job.transition(JobState.REJECTED)
+    assert job.is_terminal
+    with pytest.raises(JobStateError):
+        job.transition(JobState.ADMITTED)
+
+
+@pytest.mark.parametrize(
+    "path, bad",
+    [
+        ((), JobState.RUNNING),  # queued cannot run without admission
+        ((), JobState.DONE),
+        ((JobState.ADMITTED,), JobState.DONE),  # must pass through running
+        ((JobState.ADMITTED,), JobState.PREEMPTED),
+        ((JobState.ADMITTED, JobState.RUNNING, JobState.DONE), JobState.RUNNING),
+        ((JobState.ADMITTED, JobState.RUNNING, JobState.PREEMPTED), JobState.RUNNING),
+    ],
+)
+def test_illegal_transitions_raise(path, bad):
+    job = Job(spec=make_spec())
+    for state in path:
+        job.transition(state)
+    with pytest.raises(JobStateError, match="illegal transition"):
+        job.transition(bad)
+
+
+# --------------------------------------------------------------------- #
+# derived properties
+
+
+def test_progress_and_finish_time():
+    job = Job(spec=make_spec(total_batches=10))
+    assert job.remaining_batches == 10
+    job.batches_done = 4.0
+    job.rate = 2.0
+    assert job.remaining_batches == 6.0
+    assert job.finish_time(now=1.0) == pytest.approx(4.0)
+    job.rate = 0.0
+    assert job.finish_time(now=1.0) == float("inf")
+
+
+def test_queue_wait_and_resize_flags():
+    job = Job(spec=make_spec())
+    assert math.isnan(job.queue_wait)
+    assert not job.was_resized and not job.was_preempted
+    job.waits.append(1.5)
+    job.trajectory.extend([(0.0, "admit", 2), (1.0, "grow", 3)])
+    assert job.queue_wait == 1.5
+    assert job.was_resized
+    job.preemptions = 1
+    assert job.was_preempted
+
+
+def test_n_label_dedups_and_skips_preempts():
+    job = Job(spec=make_spec())
+    assert job.n_label() == "-"
+    job.trajectory = [
+        (0.0, "admit", 2),
+        (1.0, "grow", 3),
+        (2.0, "preempt", 3),
+        (3.0, "resume", 3),
+        (4.0, "shrink", 1),
+    ]
+    assert job.n_label() == "2→3→1"

@@ -1,0 +1,230 @@
+"""Scheduler event loop, occupancy ledger, policies and determinism."""
+
+import pytest
+
+from repro.obs.registry import MetricRegistry
+from repro.sim.cluster import ClusterSpec
+
+from repro.sched import (
+    ClusterScheduler,
+    Job,
+    JobSpec,
+    JobState,
+    SchedulerError,
+    run_scenario,
+)
+from repro.sched.scheduler import _Occupancy
+
+GIB = 2**30
+
+
+def awd_job(job_id, submit_time=0.0, batches=8, stages=2, priority=0,
+            pipelines=1, max_pipelines=None, weight=None):
+    return Job(
+        spec=JobSpec(
+            job_id=job_id,
+            family="awd",
+            num_stages=stages,
+            num_micro=4,
+            total_batches=batches,
+            priority=priority,
+            weight=float(weight if weight is not None else priority + 1),
+            pipelines=pipelines,
+            min_pipelines=1,
+            max_pipelines=max_pipelines if max_pipelines is not None else pipelines,
+            submit_time=submit_time,
+        )
+    )
+
+
+def run_jobs(jobs, policy="fifo", devices=4, memory=2 * GIB):
+    spec = ClusterSpec(nodes=devices, gpus_per_node=1, memory_bytes=memory)
+    sched = ClusterScheduler(spec, jobs, policy, registry=MetricRegistry())
+    return sched.run()
+
+
+# --------------------------------------------------------------------- #
+# occupancy ledger
+
+
+def test_occupancy_rejects_double_claim_and_foreign_release():
+    occ = _Occupancy(num_devices=4)
+    occ.claim([0, 1], "a")
+    assert occ.free == [2, 3]
+    with pytest.raises(SchedulerError, match="already owned"):
+        occ.claim([1], "b")
+    with pytest.raises(SchedulerError, match="not owned"):
+        occ.release([2], "a")
+    with pytest.raises(SchedulerError, match="not owned"):
+        occ.release([0], "b")
+    occ.release([0, 1], "a")
+    assert occ.free == [0, 1, 2, 3]
+
+
+# --------------------------------------------------------------------- #
+# event loop basics
+
+
+def test_single_job_runs_to_completion():
+    result = run_jobs([awd_job("j00", batches=8)])
+    (job,) = result.jobs
+    assert job.state == JobState.DONE
+    assert job.batches_done == 8
+    assert job.queue_wait == 0.0
+    assert result.makespan > 0
+    # one 2-device job on a 4-device cluster: exactly half the cluster busy
+    assert result.utilization == pytest.approx(0.5)
+    assert result.busy_device_seconds == pytest.approx(job.device_seconds)
+
+
+def test_infeasible_job_is_rejected_at_submit():
+    # 5 stages can never fit 4 devices, even empty
+    result = run_jobs([awd_job("j00", stages=5)])
+    (job,) = result.jobs
+    assert job.state == JobState.REJECTED
+    assert result.registry.value("sched.jobs", event="rejected") == 1
+    assert not job.waits
+
+
+def test_queued_job_waits_for_capacity():
+    # two 2-chain jobs on 4 devices: the second waits for the first
+    jobs = [
+        awd_job("j00", submit_time=0.0, pipelines=2, batches=20),
+        awd_job("j01", submit_time=0.0, pipelines=2, batches=8),
+    ]
+    result = run_jobs(jobs)
+    j0, j1 = result.jobs
+    assert j0.queue_wait == 0.0
+    assert j1.queue_wait == pytest.approx(j0.finished_at)
+    assert j1.state == JobState.DONE
+
+
+def test_device_time_is_conserved():
+    result = run_scenario("rush", "fair", seed=0)
+    per_job = sum(j.device_seconds for j in result.jobs)
+    assert per_job == pytest.approx(result.busy_device_seconds, rel=1e-9)
+
+
+def test_completions_beat_arrivals_on_ties():
+    """A completion and an arrival at the same instant: the finishing
+    job's devices must be released before the arrival is considered, so
+    the arrival admits immediately instead of queueing behind a corpse."""
+    first = awd_job("j00", submit_time=0.0, pipelines=2, batches=8)
+    probe = run_jobs([first])
+    finish = probe.jobs[0].finished_at
+    jobs = [
+        awd_job("j00", submit_time=0.0, pipelines=2, batches=8),
+        awd_job("j01", submit_time=finish, pipelines=2, batches=8),
+    ]
+    result = run_jobs(jobs)
+    assert result.jobs[1].queue_wait == 0.0
+
+
+# --------------------------------------------------------------------- #
+# policies
+
+
+def test_fifo_holds_the_requested_n():
+    jobs = [awd_job("j00", pipelines=2, max_pipelines=4, batches=20)]
+    result = run_jobs(jobs, policy="fifo")
+    (job,) = result.jobs
+    assert job.n_label() == "2"  # never grown despite free devices
+    assert not job.was_resized
+
+
+def test_fair_share_grows_into_free_devices():
+    jobs = [awd_job("j00", pipelines=1, max_pipelines=2, batches=40)]
+    result = run_jobs(jobs, policy="fair")
+    (job,) = result.jobs
+    assert job.trajectory[0][1] == "admit"
+    assert any(kind == "grow" for _, kind, _ in job.trajectory)
+    assert result.registry.value("sched.resize", direction="grow") >= 1
+
+
+def test_fair_share_shrinks_to_admit_an_arrival():
+    """An incumbent holding the whole cluster above its floor must give a
+    chain back so a newcomer with a fair claim can start."""
+    jobs = [
+        awd_job("j00", submit_time=0.0, pipelines=2, batches=400),
+        awd_job("j01", submit_time=0.5, pipelines=1, batches=8),
+    ]
+    result = run_jobs(jobs, policy="fair")
+    j0, j1 = result.jobs
+    assert any(kind == "shrink" for _, kind, _ in j0.trajectory)
+    assert j1.state == JobState.DONE
+    # the newcomer started long before the incumbent's solo finish time
+    assert j1.queue_wait < 1.0
+
+
+def test_priority_preempts_lower_priority():
+    jobs = [
+        awd_job("j00", submit_time=0.0, priority=0, pipelines=2, batches=400),
+        awd_job("j01", submit_time=0.5, priority=2, pipelines=2, batches=8),
+    ]
+    result = run_jobs(jobs, policy="priority")
+    j0, j1 = result.jobs
+    assert j0.was_preempted
+    assert j0.checkpoints and j0.checkpoints[0].startswith("ckpt-v2-j00")
+    assert j1.queue_wait == pytest.approx(0.5 - 0.5)  # admitted on arrival
+    # the victim resumed and still finished all its work
+    assert j0.state == JobState.DONE
+    assert j0.batches_done == 400
+    resumes = [k for _, k, _ in j0.trajectory if k == "resume"]
+    assert resumes == ["resume"]
+    assert result.registry.value("sched.jobs", event="preempted") == 1
+    assert result.registry.value("sched.jobs", event="resumed") == 1
+
+
+def test_priority_does_not_preempt_equal_priority():
+    jobs = [
+        awd_job("j00", submit_time=0.0, priority=1, pipelines=2, batches=40),
+        awd_job("j01", submit_time=0.5, priority=1, pipelines=2, batches=8),
+    ]
+    result = run_jobs(jobs, policy="priority")
+    assert not result.jobs[0].was_preempted
+    assert result.jobs[1].queue_wait > 0
+
+
+def test_unknown_policy_raises():
+    with pytest.raises(KeyError, match="unknown policy"):
+        run_jobs([awd_job("j00")], policy="lottery")
+
+
+# --------------------------------------------------------------------- #
+# determinism (the satellite's byte-identity requirement)
+
+
+@pytest.mark.parametrize("policy", ["fifo", "priority", "fair"])
+def test_same_seed_same_scenario_is_byte_identical(policy):
+    a = run_scenario("smoke", policy, seed=0)
+    b = run_scenario("smoke", policy, seed=0)
+    assert a.log_text() == b.log_text()
+    assert a.queue_wait_summary() == b.queue_wait_summary()
+    assert a.makespan == b.makespan
+    assert a.utilization == b.utilization
+    assert a.registry.snapshot() == b.registry.snapshot()
+
+
+def test_different_seeds_differ():
+    a = run_scenario("smoke", "fair", seed=0)
+    b = run_scenario("smoke", "fair", seed=1)
+    assert a.log_text() != b.log_text()
+
+
+def test_acceptance_elastic_beats_static_fifo():
+    """ISSUE 9's acceptance criterion on the canned seeded scenario."""
+    fifo = run_scenario("smoke", "fifo", seed=0)
+    fair = run_scenario("smoke", "fair", seed=0)
+    assert fair.utilization > fifo.utilization
+    assert fair.queue_wait_summary()["p95"] < fifo.queue_wait_summary()["p95"]
+
+
+def test_sched_metrics_published():
+    result = run_scenario("smoke", "fair", seed=0)
+    reg = result.registry
+    assert reg.value("sched.jobs", event="submitted") == 7
+    assert reg.value("sched.cluster_util") == pytest.approx(result.utilization)
+    assert reg.value("sched.makespan") == pytest.approx(result.makespan)
+    hist = reg.get("sched.queue_wait")
+    assert hist is not None and hist.summary()["count"] == 7
+    assert reg.get("sched.job_throughput").summary()["count"] == 7
