@@ -14,7 +14,9 @@ production levers:
 * ``preempt`` → :func:`repro.core.checkpoint.save_trainer` (format v2);
 * ``resume``  → a *fresh* trainer restored with
   :func:`~repro.core.checkpoint.load_trainer` at the checkpoint's N,
-  then grown back to the scheduler's resumed N via ``rejoin_pipeline``.
+  then resized to the scheduler's resumed N — ``rejoin_pipeline`` when
+  the job came back wider, ``evict_pipeline`` when the scheduler could
+  only re-admit it at fewer chains.
 
 Between consecutive events the trainer runs one real training round, so
 every lever fires against moved state.  Afterwards
@@ -108,13 +110,17 @@ def crosscheck_job(job: Job, seed: int = 0, tolerance: float = _TOLERANCE) -> Cr
                         f"job {job.job_id}: {kind!r} while preempted"
                     )
                 # restart into a fresh trainer at the checkpoint's N, then
-                # grow back to the scheduler's resumed N (add_model path)
+                # resize to the scheduler's resumed N — grow (add_model
+                # path) when resumed wider, evict when the scheduler
+                # could only re-admit the job at fewer chains
                 trainer = AvgPipeTrainer(
                     spec, seed=seed, num_pipelines=pending_resume_from, max_epochs=1
                 )
                 load_trainer(trainer, checkpoint, allow_resize=True)
                 while trainer.num_pipelines < n_after:
                     trainer.rejoin_pipeline()
+                while trainer.num_pipelines > n_after:
+                    trainer.evict_pipeline(trainer.num_pipelines - 1)
                 pending_resume_from = None
             elif kind == "shrink":
                 while trainer.num_pipelines > max(1, n_after):

@@ -58,12 +58,22 @@ class FifoPolicy(SchedPolicy):
         return max(1, min(job.spec.pipelines, whole))
 
     @staticmethod
+    def floor_chains(sched, job: Job) -> int:
+        """The job's elastic floor, capped at whole-cluster capacity (a
+        floor no grant can ever satisfy would deadlock the queue)."""
+        whole = sched.spec.num_devices // job.spec.num_stages
+        return max(1, min(job.spec.min_pipelines, whole))
+
+    @staticmethod
     def admit_static(sched, job: Job, n_target: int) -> bool:
-        """Admit at ``n_target``, degrading toward 1 chain only when
-        memory (not device count) blocks the full request — otherwise a
-        job whose later chains land on small-capacity devices could
-        stall the queue forever.  The grant stays fixed afterwards."""
-        for n in range(n_target, 0, -1):
+        """Admit at ``n_target``, degrading toward the job's elastic
+        floor only when memory (not device count) blocks the full
+        request — otherwise a job whose later chains land on
+        small-capacity devices could stall the queue forever.  The
+        grant never goes below ``min_pipelines`` (the JobSpec contract)
+        and stays fixed afterwards."""
+        floor = FifoPolicy.floor_chains(sched, job)
+        for n in range(n_target, floor - 1, -1):
             if n * job.spec.num_stages > sched.free_count():
                 return False  # wait for devices, don't narrow the request
             if sched.admit(job, n):
@@ -93,8 +103,12 @@ class PriorityPolicy(SchedPolicy):
         )
 
     def on_event(self, sched) -> None:
-        progress = True
-        while progress:
+        # Every productive round admits a job, and a preemption only
+        # happens once a dry-run proves its head will admit, so the loop
+        # terminates; the bound turns any future regression into a loud
+        # SchedulerError instead of a silent livelock.
+        max_rounds = 4 * len(sched.jobs) * len(sched.jobs) + 16
+        for _ in range(max_rounds):
             progress = False
             queue = self._order(sched)
             for rank, job in enumerate(queue):
@@ -108,9 +122,24 @@ class PriorityPolicy(SchedPolicy):
                         break
             # backfill: any queued job that fits without preemption was
             # already tried above; nothing more to do this round
+            if not progress:
+                return
+        from repro.sched.scheduler import SchedulerError
+
+        raise SchedulerError(
+            f"priority policy made no admission progress after "
+            f"{max_rounds} rounds (preempt/re-admit cycle?)"
+        )
 
     def _preempt_for(self, sched, job: Job, n_chains: int) -> bool:
-        """Checkpoint lower-priority running jobs until ``job`` fits."""
+        """Checkpoint lower-priority running jobs until ``job`` fits.
+
+        A victim set is committed only once :meth:`ClusterScheduler.would_fit`
+        proves the job plans cleanly on the free devices plus the
+        victims' — counting freed devices alone would evict jobs whose
+        (small) devices still cannot memory-host the entrant, endlessly
+        re-queueing and re-admitting the victims."""
+        floor = FifoPolicy.floor_chains(sched, job)
         need = n_chains * job.spec.num_stages
         victims = sorted(
             (
@@ -121,18 +150,24 @@ class PriorityPolicy(SchedPolicy):
             # lowest priority first; among equals, latest-admitted first
             key=lambda r: (r.spec.priority, -(r.admitted_at or 0.0), r.job_id),
         )
-        freed = sched.free_count()
-        chosen = []
+        chosen: list[Job] = []
+        pool = sched.free_count()
         for victim in victims:
-            if freed >= need:
-                break
-            freed += len(victim.devices)
             chosen.append(victim)
-        if freed < need or not chosen:
-            return False
-        for victim in chosen:
-            sched.preempt(victim)
-        return True
+            pool += len(victim.devices)
+            if pool < need:
+                continue  # admit_static would wait for devices, not narrow
+            # admit_static degrades from n_chains to the floor, so the
+            # eviction is guaranteed to pay off as soon as any count in
+            # that range plans cleanly on the would-be free devices
+            if any(
+                sched.would_fit(job, n, chosen)
+                for n in range(n_chains, floor - 1, -1)
+            ):
+                for v in chosen:
+                    sched.preempt(v)
+                return True
+        return False
 
 
 class FairSharePolicy(SchedPolicy):
@@ -158,11 +193,12 @@ class FairSharePolicy(SchedPolicy):
             progress = False
             for job in sched.queued_jobs():
                 stages = job.spec.num_stages
+                floor = FifoPolicy.floor_chains(sched, job)
                 fit = min(job.spec.pipelines, sched.free_count() // stages)
-                if fit >= 1 and sched.admit(job, fit):
+                # never below the job's elastic floor (JobSpec contract)
+                if fit >= floor and sched.admit(job, fit):
                     progress = True
                     break
-                floor = max(1, job.spec.min_pipelines)
                 if self._shrink_for(sched, job, need=floor * stages):
                     if sched.admit(job, floor):
                         progress = True

@@ -165,17 +165,20 @@ def render_compare(verdict: SchedVerdict) -> str:
 
 
 def render_report(verdict: SchedVerdict) -> str:
-    """The full human-readable run report ``repro sched`` prints."""
-    parts = [
-        render_jobs(verdict.baseline),
-        "",
-        render_summary(verdict.baseline),
-        render_jobs(verdict.candidate),
-        "",
-        render_summary(verdict.candidate),
-        render_compare(verdict),
-        "",
-    ]
+    """The full human-readable run report ``repro sched`` prints.
+
+    When the baseline *is* the candidate (``--no-baseline`` or a plain
+    FIFO run) there is nothing to compare, so the comparison table and
+    the PASS/FAIL verdict — which could only ever read FAIL against
+    itself — are skipped in favor of the single run's tables.
+    """
+    single = verdict.baseline is verdict.candidate
+    parts = []
+    if not single:
+        parts += [render_jobs(verdict.baseline), "", render_summary(verdict.baseline)]
+    parts += [render_jobs(verdict.candidate), "", render_summary(verdict.candidate)]
+    if not single:
+        parts += [render_compare(verdict), ""]
     if verdict.crosschecks:
         rows = [
             [c.job_id, c.events, f"{c.divergence:.2e}", "clean" if c.ok else "DIRTY"]
@@ -190,6 +193,13 @@ def render_report(verdict: SchedVerdict) -> str:
             ),
             "",
         ]
+    if single:
+        parts.append(
+            f"Run complete — policy={verdict.candidate.policy}, no baseline "
+            f"comparison requested; numerics "
+            f"{'clean' if verdict.numerics_clean else 'DIRTY'}.\n"
+        )
+        return "\n".join(parts)
     status = "PASS" if verdict.passed else "FAIL"
     detail = (
         f"util {verdict.baseline.utilization:.4f} -> "

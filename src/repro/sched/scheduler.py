@@ -277,17 +277,29 @@ class ClusterScheduler:
     def queued_jobs(self) -> list[Job]:
         return sorted(self.queue, key=lambda j: (j.spec.submit_time, j.job_id))
 
-    def plan_chains(self, job: Job, n_chains: int) -> list[ChainPlan] | None:
+    def plan_chains(
+        self, job: Job, n_chains: int, extra=()
+    ) -> list[ChainPlan] | None:
         """Plan ``n_chains`` chains for ``job`` on the fastest free
-        devices, or None if they don't fit (devices or memory)."""
+        devices (plus the hypothetical ``extra`` ones), or None if they
+        don't fit (devices or memory)."""
         s = job.spec
         need = n_chains * s.num_stages
-        ranked = self.planner.rank_devices(self.occupancy.free)
+        pool = self.occupancy.free
+        if extra:
+            pool = sorted(set(pool).union(extra))
+        ranked = self.planner.rank_devices(pool)
         if n_chains < 1 or len(ranked) < need:
             return None
         plans = []
         for c in range(n_chains):
-            grant = tuple(sorted(ranked[c * s.num_stages : (c + 1) * s.num_stages]))
+            # grants keep the planner's rank order (fastest and biggest
+            # memory first) — stage footprints decrease with depth, so
+            # this pairs heavy stages with big devices exactly the way
+            # best_case_fits probed at submit; sorting by id here made
+            # chains infeasible that the feasibility check had accepted,
+            # starving the job forever
+            grant = tuple(ranked[c * s.num_stages : (c + 1) * s.num_stages])
             plan = self.planner.plan_chain(
                 s.family, s.num_stages, s.num_micro, grant, with_reference=(c == 0)
             )
@@ -295,6 +307,16 @@ class ClusterScheduler:
                 return None
             plans.append(plan)
         return plans
+
+    def would_fit(self, job: Job, n_chains: int, victims=()) -> bool:
+        """Dry-run admission: would ``n_chains`` chains of ``job`` plan
+        cleanly — device count *and* per-device memory — on the free
+        devices plus those held by ``victims``?  Preemptive policies
+        must prove this before evicting anyone: freeing devices by count
+        alone can evict jobs whose capacities still cannot host the
+        entrant, which re-queues the victims and livelocks."""
+        extra = [d for v in victims for d in v.devices]
+        return self.plan_chains(job, n_chains, extra=extra) is not None
 
     def admit(self, job: Job, n_chains: int) -> bool:
         """Admit (or resume) ``job`` at ``n_chains`` pipeline chains."""
@@ -338,7 +360,7 @@ class ClusterScheduler:
         ranked = self.planner.rank_devices(self.occupancy.free)
         if len(ranked) < s.num_stages:
             return False
-        grant = tuple(sorted(ranked[: s.num_stages]))
+        grant = tuple(ranked[: s.num_stages])  # rank order, as plan_chains
         plan = self.planner.plan_chain(
             s.family, s.num_stages, s.num_micro, grant, with_reference=False
         )

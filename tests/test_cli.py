@@ -123,6 +123,13 @@ class TestSched:
         assert verdict["candidate"]["policy"] == "fair"
 
     def test_sched_fifo_without_baseline_is_healthy(self, capsys):
+        """No baseline → no self-comparison: the report must carry the
+        single run's tables, not a verdict that can only read FAIL."""
         code = main(["sched", "--scenario", "smoke", "--policy", "fifo",
                      "--no-crosscheck"])
+        out = capsys.readouterr().out
         assert code == 0
+        assert "Verdict" not in out
+        assert "improved" not in out
+        assert "Run complete" in out and "policy=fifo" in out
+        assert out.count("Jobs — scenario=smoke") == 1

@@ -49,6 +49,31 @@ def test_preempt_resume_trajectory_is_clean():
     assert result.ok
 
 
+def test_resume_below_checkpoint_n_shrinks_the_replay(monkeypatch):
+    """REVIEW regression: a job preempted at N=3 but re-admitted at N=2
+    must shrink the restored trainer — the replay used to only grow,
+    silently staying at the checkpoint's wider N."""
+    from repro.core.trainer import AvgPipeTrainer
+
+    evictions = []
+    original = AvgPipeTrainer.evict_pipeline
+
+    def recording_evict(self, pos):
+        evictions.append(pos)
+        return original(self, pos)
+
+    monkeypatch.setattr(AvgPipeTrainer, "evict_pipeline", recording_evict)
+    job = trajectory_job([
+        (0.0, "admit", 3),
+        (1.0, "preempt", 3),
+        (2.0, "resume", 2),
+    ])
+    result = crosscheck_job(job, seed=0)
+    assert result.events == 2
+    assert result.ok
+    assert evictions, "shrink-on-resume never fired"
+
+
 def test_trajectory_must_start_with_admit():
     job = trajectory_job([(0.0, "grow", 2)])
     with pytest.raises(ValueError, match="starts with 'grow'"):

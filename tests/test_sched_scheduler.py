@@ -175,6 +175,55 @@ def test_priority_preempts_lower_priority():
     assert result.registry.value("sched.jobs", event="resumed") == 1
 
 
+def test_priority_pointless_preemption_does_not_livelock():
+    """REVIEW regression: a mid-priority gnmt head whose ~1GiB stage can
+    never fit the 512MiB devices that preempting the low-priority jobs
+    would free.  Victim selection by device count alone preempted them
+    anyway, the admit then failed, the victims re-admitted, and
+    ``run()`` cycled forever.  With fit-gated preemption the head simply
+    waits for the big devices and the small jobs run unmolested."""
+    import dataclasses
+
+    MIB = 2**20
+    spec = ClusterSpec(nodes=2, gpus_per_node=2, memory_bytes=2 * GIB)
+    spec = dataclasses.replace(
+        spec, device_memory_bytes=(2 * GIB, 512 * MIB, 2 * GIB, 512 * MIB)
+    )
+
+    def job(job_id, family, stages, priority, submit_time):
+        return Job(
+            spec=JobSpec(
+                job_id=job_id,
+                family=family,
+                num_stages=stages,
+                num_micro=4,
+                total_batches=8,
+                priority=priority,
+                pipelines=1,
+                max_pipelines=1,
+                submit_time=submit_time,
+            )
+        )
+
+    jobs = [
+        job("hi", "gnmt", 2, 2, 0.0),  # holds both 2GiB devices
+        job("a0", "awd", 1, 0, 0.1),
+        job("a1", "awd", 1, 0, 0.2),
+        job("head", "gnmt", 2, 1, 0.3),  # queue head, needs the big devices
+        job("a2", "awd", 1, 0, 0.4),
+    ]
+    sched = ClusterScheduler(
+        spec, jobs, "priority", registry=MetricRegistry(), scenario="livelock"
+    )
+    result = sched.run()
+    assert all(j.state == JobState.DONE for j in result.jobs)
+    # preempting the awd jobs could never help the gnmt head, so none
+    # of them may be evicted for it
+    assert result.registry.value("sched.jobs", event="preempted") == 0
+    head = next(j for j in result.jobs if j.job_id == "head")
+    assert head.trajectory[0][1] == "admit"
+
+
 def test_priority_does_not_preempt_equal_priority():
     jobs = [
         awd_job("j00", submit_time=0.0, priority=1, pipelines=2, batches=40),
@@ -183,6 +232,113 @@ def test_priority_does_not_preempt_equal_priority():
     result = run_jobs(jobs, policy="priority")
     assert not result.jobs[0].was_preempted
     assert result.jobs[1].queue_wait > 0
+
+
+def test_grants_follow_the_feasibility_probe_order():
+    """A job that ``best_case_fits`` accepted must actually be admissible
+    on the empty cluster.  Grants used to be sorted by device id, which
+    could park a big stage on a small device and make every admission
+    fail even though the rank-ordered probe (big devices first, like the
+    decreasing stage footprints) had proven a fitting chain exists —
+    starving the job forever under every policy."""
+    import dataclasses
+
+    MIB = 2**20
+    spec = ClusterSpec(nodes=2, gpus_per_node=2, memory_bytes=2 * GIB)
+    spec = dataclasses.replace(
+        spec, device_memory_bytes=(2 * GIB, 512 * MIB, 2 * GIB, 512 * MIB)
+    )
+    job = Job(
+        spec=JobSpec(
+            job_id="jg",
+            family="gnmt",
+            num_stages=3,
+            num_micro=4,
+            total_batches=8,
+            pipelines=1,
+            max_pipelines=1,
+        )
+    )
+    sched = ClusterScheduler(spec, [job], "fifo", registry=MetricRegistry())
+    assert sched.planner.best_case_fits("gnmt", 3, 4)
+    result = sched.run()
+    (done,) = result.jobs
+    assert done.state == JobState.DONE
+    # the big stages landed on the 2GiB devices, the tail on a 512MiB one
+    (audit,) = done.admission_audit
+    footprints, caps = audit
+    assert all(f <= c for f, c in zip(footprints, caps))
+
+
+def test_fair_share_respects_the_elastic_floor():
+    """REVIEW regression: direct admission clamped ``fit`` only at 1, so
+    a job with ``min_pipelines=2`` could be admitted at a single chain
+    when exactly one chain's worth of devices was free.  The floor now
+    routes it through shrink-to-admit instead."""
+    jobs = [
+        # incumbent: 2 chains x 2 stages = 4 of 6 devices, light weight
+        awd_job("j00", submit_time=0.0, pipelines=2, batches=400, weight=0.5),
+        # entrant with an elastic floor of 2 chains; only 2 devices free
+        Job(
+            spec=JobSpec(
+                job_id="j01",
+                family="awd",
+                num_stages=2,
+                num_micro=4,
+                total_batches=8,
+                weight=1.0,
+                pipelines=2,
+                min_pipelines=2,
+                max_pipelines=2,
+                submit_time=0.5,
+            )
+        ),
+    ]
+    result = run_jobs(jobs, policy="fair", devices=6)
+    j0, j1 = result.jobs
+    assert j1.state == JobState.DONE
+    # every grant the entrant ever held honored its declared floor
+    admits = [n for _, kind, n in j1.trajectory if kind in ("admit", "resume")]
+    assert admits and all(n >= 2 for n in admits)
+    # the incumbent gave a chain back to make room
+    assert any(kind == "shrink" for _, kind, _ in j0.trajectory)
+
+
+def test_fifo_admission_never_degrades_below_the_floor():
+    """REVIEW regression: ``admit_static`` degraded toward 1 chain when
+    memory blocked the full request, ignoring ``min_pipelines``.  With
+    two 2GiB and two 512MiB devices a 2-chain gnmt can only memory-fit
+    one chain — a floor of 2 must refuse that instead of narrowing."""
+    import dataclasses
+
+    from repro.sched.policies import FifoPolicy
+
+    MIB = 2**20
+    spec = ClusterSpec(nodes=2, gpus_per_node=2, memory_bytes=2 * GIB)
+    spec = dataclasses.replace(
+        spec, device_memory_bytes=(2 * GIB, 512 * MIB, 2 * GIB, 512 * MIB)
+    )
+    job = Job(
+        spec=JobSpec(
+            job_id="jg",
+            family="gnmt",
+            num_stages=2,
+            num_micro=4,
+            total_batches=8,
+            pipelines=2,
+            min_pipelines=2,
+            max_pipelines=2,
+        )
+    )
+    sched = ClusterScheduler(spec, [job], "fifo", registry=MetricRegistry())
+    sched.queue.append(job)
+    assert not FifoPolicy.admit_static(sched, job, 2)
+    assert job.state == JobState.QUEUED and job.num_pipelines == 0
+    # the same job without the floor still degrades to one chain
+    relaxed = Job(spec=dataclasses.replace(job.spec, job_id="jr", min_pipelines=1))
+    sched.queue.append(relaxed)
+    assert FifoPolicy.admit_static(sched, relaxed, 2)
+    assert relaxed.num_pipelines == 1
 
 
 def test_unknown_policy_raises():
