@@ -51,6 +51,14 @@ class TuningOutcome:
     partition: tuple[int, ...] | None = None
     #: stage -> device permutation; None = straight chain
     placement: tuple[int, ...] | None = None
+    #: run-history records the learned layer consulted (0 = analytic)
+    records_consulted: int = 0
+    #: whether a residual correction actually re-ranked the grid
+    residual_applied: bool = False
+    #: the analytic winner, for learned-vs-analytic audits
+    analytic_setting: tuple[int, int] | None = None
+    #: the (possibly corrected) Eq.-1 prediction at the chosen setting
+    predicted_batch_time: float | None = None
 
 
 def plan_for_spec(
@@ -62,6 +70,7 @@ def plan_for_spec(
     param_byte_scale: float = 1.0,
     comm_weight: float = 0.5,
     memory_caps: Sequence[float] | None = None,
+    history=None,
 ) -> tuple[Partition, tuple[int, ...]]:
     """Partition + placement for a (possibly heterogeneous) cluster spec.
 
@@ -70,8 +79,23 @@ def plan_for_spec(
     chain placement — bit for bit.  On a heterogeneous spec it runs the
     joint balanced-partition/placement search against the spec's
     per-device speeds, link matrix and (optional) per-device memory caps.
+
+    ``history`` (None, a :class:`~repro.tune.store.RunStore`, or a path)
+    consults the run-history store: when records exist for this cluster
+    and show the Eq.-8 model under-predicting measured peaks, the
+    per-layer memory charge is inflated by the learned headroom before
+    the placement search.  With no history — or no matching records —
+    the legacy expressions run unchanged, bit for bit.
     """
     k = num_stages if num_stages is not None else cluster_spec.num_devices
+    headroom = 1.0
+    if history is not None:
+        from repro.tune.residual import learned_memory_headroom
+        from repro.tune.store import as_store, cluster_fingerprint
+
+        headroom = learned_memory_headroom(
+            as_store(history), cluster_fingerprint(cluster_spec)
+        )
     if cluster_spec.is_uniform:
         part = partition_model(
             layer_costs,
@@ -94,9 +118,14 @@ def plan_for_spec(
         memory_caps=memory_caps,
         flops_per_sec=cluster_spec.peak_flops,
         comm_weight=comm_weight,
-        layer_memory_bytes=[
-            3.0 * c.param_bytes * param_byte_scale for c in layer_costs
-        ],
+        layer_memory_bytes=(
+            [3.0 * c.param_bytes * param_byte_scale for c in layer_costs]
+            if headroom == 1.0
+            else [
+                3.0 * c.param_bytes * param_byte_scale * headroom
+                for c in layer_costs
+            ]
+        ),
     )
     return part, perm
 
@@ -150,30 +179,82 @@ class ProfilingTuner:
     ``memory_limit_bytes`` may be a per-*device* sequence on a
     heterogeneous cluster; it is reordered into stage order through the
     profiler's placement before the feasibility check.
+
+    ``history`` (None, a :class:`~repro.tune.store.RunStore`, or a path)
+    enables the learned layer: recorded runs matching this profiler's
+    configuration re-rank the candidate grid by residual-corrected time
+    (:class:`~repro.tune.residual.LearnedPredictor`).  With no history
+    or no matching records the analytic path runs unchanged, bit for
+    bit — same calls, same winner, same outcome fields.
     """
     def __init__(
-        self, profiler: Profiler, memory_limit_bytes: float | Sequence[float]
+        self,
+        profiler: Profiler,
+        memory_limit_bytes: float | Sequence[float],
+        history=None,
+        workload: str = "",
     ) -> None:
         self.profiler = profiler
         self.memory_limit = memory_limit_bytes
+        if history is not None:
+            from repro.tune.store import as_store
+
+            history = as_store(history)
+        self.history = history
+        self.workload = workload
 
     def tune(
         self,
         m_candidates: list[int] | None = None,
         n_candidates: list[int] | None = None,
         profile_iterations: int = 4,
+        registry=None,
     ) -> TuningOutcome:
         batch = self.profiler.batch_size
         m_candidates = m_candidates or default_m_candidates(batch)
         n_candidates = n_candidates or [1, 2, 3, 4]
         profile: Profile = self.profiler.profile(iterations=profile_iterations)
         predictor = Predictor(profile)
-        winner, predictions = predictor.best_setting(
-            m_candidates,
-            n_candidates,
-            _stage_memory_limits(self.profiler, self.memory_limit),
-        )
+        limits = _stage_memory_limits(self.profiler, self.memory_limit)
+        if self.history is None:
+            winner, predictions = predictor.best_setting(
+                m_candidates, n_candidates, limits
+            )
+            records_consulted = 0
+            residual_applied = False
+            analytic_setting = None
+            predicted_time = winner.batch_time
+        else:
+            from repro.tune.residual import LearnedPredictor
+            from repro.tune.store import tuner_context
+
+            decision = LearnedPredictor(
+                predictor,
+                store=self.history,
+                context=tuner_context(self.profiler, workload=self.workload),
+                workload=self.workload,
+            ).best_setting(m_candidates, n_candidates, limits)
+            winner = decision.winner
+            predictions = decision.predictions
+            records_consulted = decision.records_consulted
+            residual_applied = decision.residual_applied
+            analytic_setting = (
+                decision.analytic_winner.m,
+                decision.analytic_winner.n,
+            )
+            predicted_time = decision.corrected.get(
+                (winner.m, winner.n), winner.batch_time
+            )
         measured, _ = _measure(self.profiler, winner.m, winner.n)
+        if registry is not None:
+            registry.gauge("tune.records_consulted").set(records_consulted)
+            registry.gauge("tune.residual_applied").set(
+                1.0 if residual_applied else 0.0
+            )
+            registry.gauge("tune.predicted_batch_time").set(predicted_time)
+            # per-batch, same unit as the Eq.-1 prediction (an iteration
+            # advances n concurrent batches)
+            registry.gauge("tune.measured_batch_time").set(measured / winner.n)
         return TuningOutcome(
             method="profiling",
             m=winner.m,
@@ -183,6 +264,10 @@ class ProfilingTuner:
             details=predictions,
             partition=self.profiler.partition.boundaries,
             placement=self.profiler.placement,
+            records_consulted=records_consulted,
+            residual_applied=residual_applied,
+            analytic_setting=analytic_setting,
+            predicted_batch_time=predicted_time,
         )
 
 

@@ -24,7 +24,12 @@ from repro.obs.registry import (
     Histogram,
     MetricRegistry,
 )
-from repro.obs.report import RunReport, build_run_report, sched_telemetry
+from repro.obs.report import (
+    RunReport,
+    build_run_report,
+    sched_telemetry,
+    tuner_telemetry,
+)
 from repro.obs.telemetry import (
     ClusterTelemetrySampler,
     TrainingTelemetry,
@@ -46,6 +51,7 @@ __all__ = [
     "RunReport",
     "build_run_report",
     "sched_telemetry",
+    "tuner_telemetry",
     "Benchmark",
     "BenchResult",
     "bench_catalog",

@@ -143,6 +143,12 @@ class RetunePlan(RecoveryPolicy):
 
     When the report names no valid device (target out of range), the
     whole cluster degrades uniformly — the pre-heterogeneity behavior.
+
+    ``history`` (None, a :class:`~repro.tune.store.RunStore`, or a path)
+    forwards the tuner run store so the re-pick consults recorded runs
+    of this workload — the degraded cluster is exactly the held-out-spec
+    case the transfer tier covers.  With None the re-tune is bit-for-bit
+    the analytic one, including the returned details dict.
     """
 
     name = "retune"
@@ -154,11 +160,15 @@ class RetunePlan(RecoveryPolicy):
         memory_limit_bytes: float,
         m_candidates: list[int] | None = None,
         n_candidates: list[int] | None = None,
+        history=None,
+        workload: str = "",
     ) -> None:
         self.profiler = profiler
         self.memory_limit_bytes = memory_limit_bytes
         self.m_candidates = m_candidates
         self.n_candidates = n_candidates
+        self.history = history
+        self.workload = workload
         self.last_outcome: TuningOutcome | None = None
 
     def apply(self, trainer, report: FailureReport) -> dict:
@@ -181,6 +191,7 @@ class RetunePlan(RecoveryPolicy):
             num_stages=self.profiler.partition.num_stages,
             activation_byte_scale=self.profiler.activation_byte_scale,
             param_byte_scale=self.profiler.param_byte_scale,
+            history=self.history,
         )
         repartitioned = (
             partition.boundaries != self.profiler.partition.boundaries
@@ -192,10 +203,15 @@ class RetunePlan(RecoveryPolicy):
         degraded_profiler.placement = (
             placement if placement != tuple(range(partition.num_stages)) else None
         )
-        tuner = ProfilingTuner(degraded_profiler, self.memory_limit_bytes)
+        tuner = ProfilingTuner(
+            degraded_profiler,
+            self.memory_limit_bytes,
+            history=self.history,
+            workload=self.workload,
+        )
         outcome = tuner.tune(self.m_candidates, self.n_candidates)
         self.last_outcome = outcome
-        return {
+        details = {
             "slowdown": report.severity,
             "m": outcome.m,
             "n": outcome.n,
@@ -204,6 +220,10 @@ class RetunePlan(RecoveryPolicy):
             "placement": placement,
             "repartitioned": repartitioned,
         }
+        if self.history is not None:
+            details["records_consulted"] = outcome.records_consulted
+            details["residual_applied"] = outcome.residual_applied
+        return details
 
 
 class RecoveryManager:

@@ -161,6 +161,7 @@ class ClusterScheduler:
         registry: MetricRegistry | None = None,
         scenario: str = "custom",
         seed: int = 0,
+        history=None,
     ) -> None:
         from repro.sched.policies import make_policy
 
@@ -170,7 +171,7 @@ class ClusterScheduler:
         self.registry = registry if registry is not None else MetricRegistry()
         self.scenario = scenario
         self.seed = seed
-        self.planner = JobPlanner(spec)
+        self.planner = JobPlanner(spec, history=history)
         self.occupancy = _Occupancy(spec.num_devices)
         self.queue: list[Job] = []  # QUEUED + PREEMPTED, awaiting (re-)admission
         self.running: list[Job] = []

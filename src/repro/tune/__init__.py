@@ -1,0 +1,69 @@
+"""Learned online tuning: a persistent run store + residual predictor.
+
+The analytic Eqs. 1-8 tuner (:mod:`repro.core.tuner`) predicts (M, N)
+from a single short profile.  This package closes the loop across runs:
+
+* :mod:`repro.tune.store` — a versioned, append-only JSONL history of
+  recorded runs (prediction vs measurement, OOM/degraded flags), keyed
+  by deterministic config fingerprints;
+* :mod:`repro.tune.residual` — a deterministic residual model over that
+  history which corrects and re-ranks the analytic predictions.
+
+With an empty store every consumer — ``ProfilingTuner``,
+``plan_for_spec``, RetunePlan, the sched admission planner — falls back
+to the analytic path bitwise-identically (tested).
+"""
+
+from repro.tune.residual import (
+    CORRECTION_CLIP,
+    FEATURE_NAMES,
+    MIN_FIT_POINTS,
+    LearnedPredictor,
+    ResidualModel,
+    TuneDecision,
+    features,
+    learned_memory_headroom,
+    select_records,
+)
+from repro.tune.store import (
+    STORE_VERSION,
+    RunContext,
+    RunStore,
+    StoreCorruptError,
+    StoreError,
+    TuneRecord,
+    as_store,
+    canonical_json,
+    cluster_fingerprint,
+    config_fingerprint,
+    record_run,
+    run_context,
+    schedule_label,
+    tuner_context,
+)
+
+__all__ = [
+    "STORE_VERSION",
+    "StoreError",
+    "StoreCorruptError",
+    "TuneRecord",
+    "RunStore",
+    "RunContext",
+    "as_store",
+    "canonical_json",
+    "config_fingerprint",
+    "cluster_fingerprint",
+    "run_context",
+    "tuner_context",
+    "schedule_label",
+    "record_run",
+    "MIN_FIT_POINTS",
+    "CORRECTION_CLIP",
+    "FEATURE_NAMES",
+    "features",
+    "ResidualModel",
+    "TuneDecision",
+    "LearnedPredictor",
+    "select_records",
+    "learned_memory_headroom",
+]

@@ -14,7 +14,11 @@ stack (see ``docs/verification.md``):
   cross-check;
 * :mod:`repro.verify.fuzz_sched` — a seeded job-arrival fuzzer driving
   the :mod:`repro.sched` multi-job scheduler and auditing admission,
-  memory caps, device-time conservation, and determinism.
+  memory caps, device-time conservation, and determinism;
+* :mod:`repro.verify.fuzz_tune` — a seeded run-store fuzzer feeding the
+  :mod:`repro.tune` learned predictor corrupted histories (duplicates,
+  stale cluster fingerprints, OOM-flagged records) and auditing
+  crash-freedom and analytic-fallback correctness.
 
 ``repro verify`` on the CLI runs all of them.
 """
@@ -59,6 +63,13 @@ from repro.verify.fuzz_sched import (
     run_sched_fuzz_case,
     sched_fuzz_configs,
 )
+from repro.verify.fuzz_tune import (
+    TuneFuzzConfig,
+    TuneFuzzResult,
+    run_tune_fuzz,
+    run_tune_fuzz_case,
+    tune_fuzz_configs,
+)
 
 __all__ = [
     "Violation",
@@ -93,4 +104,9 @@ __all__ = [
     "sched_fuzz_configs",
     "run_sched_fuzz",
     "run_sched_fuzz_case",
+    "TuneFuzzConfig",
+    "TuneFuzzResult",
+    "tune_fuzz_configs",
+    "run_tune_fuzz",
+    "run_tune_fuzz_case",
 ]
